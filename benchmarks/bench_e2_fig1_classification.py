@@ -1,0 +1,61 @@
+"""E2 (Figure 1): the boxity × levity classification grid.
+
+Paper claim: three of the four boxity/levity combinations are inhabited —
+lifted+boxed (Int, Bool), unlifted+boxed (ByteArray#), unlifted+unboxed
+(Int#, Char#) — and the lifted+unboxed corner is empty because lifted types
+must be represented by pointers to (possible) thunks.
+"""
+
+import pytest
+
+from benchreport import emit
+from repro.surface.types import (
+    ARRAY_HASH_TY,
+    BOOL_TY,
+    BYTEARRAY_HASH_TY,
+    CHAR_HASH_TY,
+    DOUBLE_HASH_TY,
+    INT_HASH_TY,
+    INT_TY,
+    TyApp,
+    kind_of_type,
+)
+from repro.core.rep import all_nullary_reps
+
+GRID = {
+    "Int": (INT_TY, "boxed", "lifted"),
+    "Bool": (BOOL_TY, "boxed", "lifted"),
+    "ByteArray#": (BYTEARRAY_HASH_TY, "boxed", "unlifted"),
+    "Array# Int": (TyApp(ARRAY_HASH_TY, INT_TY), "boxed", "unlifted"),
+    "Int#": (INT_HASH_TY, "unboxed", "unlifted"),
+    "Char#": (CHAR_HASH_TY, "unboxed", "unlifted"),
+    "Double#": (DOUBLE_HASH_TY, "unboxed", "unlifted"),
+}
+
+
+def classify(type_):
+    rep = kind_of_type(type_).rep
+    return ("boxed" if rep.is_boxed() else "unboxed",
+            "lifted" if rep.is_lifted() else "unlifted")
+
+
+def test_report_figure1_grid():
+    rows = []
+    for name, (type_, boxity, levity) in GRID.items():
+        measured = classify(type_)
+        rows.append((name, f"{boxity}/{levity}",
+                     f"{measured[0]}/{measured[1]}"))
+        assert measured == (boxity, levity)
+    rows.append(("lifted+unboxed corner", "empty",
+                 "empty" if not any(r.is_lifted() and not r.is_boxed()
+                                    for r in all_nullary_reps())
+                 else "INHABITED"))
+    emit("E2: Figure 1 boxity x levity grid", rows)
+
+
+@pytest.mark.benchmark(group="e2-classification")
+def test_bench_classification(benchmark):
+    def run():
+        return [classify(type_) for type_, _, _ in GRID.values()]
+    result = benchmark(run)
+    assert len(result) == len(GRID)

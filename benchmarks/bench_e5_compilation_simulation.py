@@ -1,0 +1,63 @@
+"""E5 (Figure 7, Section 6.3-6.4): Compilation totality and the Simulation theorem.
+
+Paper claim: every well-typed L program compiles to M (Compilation theorem),
+and compilation preserves the operational semantics step by step up to
+joinability (Simulation theorem — including the substitution/compilation
+lemma the paper leaves as an open problem, which we test rather than prove).
+"""
+
+import pytest
+
+from benchreport import emit
+from repro.compile import compile_expr
+from repro.metatheory import check_compilation, check_simulation, generate_corpus
+
+CORPUS = generate_corpus(60, seed=21, depth=4)
+
+
+def test_report_compilation_and_simulation():
+    compilation_failures = simulation_failures = 0
+    for _, program in CORPUS:
+        if not check_compilation(program).holds:
+            compilation_failures += 1
+        if not check_simulation(program, probe_depth=1).holds:
+            simulation_failures += 1
+    emit("E5: Compilation + Simulation theorems", [
+        ("well-typed programs", "-", len(CORPUS)),
+        ("compilation failures", "0 (theorem)", compilation_failures),
+        ("simulation failures", "0 (theorem + open lemma)",
+         simulation_failures),
+    ])
+    assert compilation_failures == 0
+    assert simulation_failures == 0
+
+
+def test_report_erasure_statistics():
+    erased = sum(compile_expr(p).erased_type_nodes for _, p in CORPUS)
+    lazy = sum(compile_expr(p).lazy_lets for _, p in CORPUS)
+    strict = sum(compile_expr(p).strict_lets for _, p in CORPUS)
+    emit("E5: type erasure and ANF statistics", [
+        ("type/rep nodes erased", "all", erased),
+        ("lazy lets introduced (TYPE P args)", "-", lazy),
+        ("strict lets introduced (TYPE I args)", "-", strict),
+    ])
+    assert strict > 0 and lazy > 0
+
+
+@pytest.mark.benchmark(group="e5-compilation")
+def test_bench_compilation(benchmark):
+    programs = [p for _, p in CORPUS]
+
+    def run():
+        return [compile_expr(p).lazy_lets for p in programs]
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="e5-simulation")
+def test_bench_simulation_check(benchmark):
+    programs = [p for _, p in CORPUS[:10]]
+
+    def run():
+        return [check_simulation(p, probe_depth=1).holds for p in programs]
+    result = benchmark(run)
+    assert all(result)

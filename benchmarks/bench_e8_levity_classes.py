@@ -1,0 +1,104 @@
+"""E8 (Section 7.3): levity-polymorphic type classes via dictionaries.
+
+Paper claims reproduced:
+* the generalised ``Num (a :: TYPE r)`` admits an ``Int#`` instance, so
+  ``3# + 4#`` type-checks and evaluates without boxing the operands;
+* the dictionary is an ordinary lifted record and the per-instance methods
+  are fully monomorphic;
+* ``abs1 = abs`` is accepted while its η-expansion ``abs2 x = abs x`` is
+  rejected — compiled arity 1 vs 2.
+"""
+
+import pytest
+
+from benchreport import emit
+from repro.classes import (
+    ABS1_BINDING,
+    ABS2_BINDING,
+    ABS_SIGNATURE,
+    dictionary_binding,
+    method_reference_arity,
+    selector_arity,
+    standard_class_env,
+)
+from repro.core.errors import LevityError
+from repro.infer import Inferencer, infer_binding, infer_expr
+from repro.runtime import Evaluator, Program, UnboxedInt
+from repro.surface.ast import ELitIntHash, EVar, apply
+from repro.surface.prelude import prelude_env
+from repro.surface.types import INT_HASH_TY
+
+
+def _setup():
+    inferencer = Inferencer()
+    env = prelude_env()
+    class_env = standard_class_env(True, inferencer, env)
+    return class_env, env.bind_many(class_env.all_method_schemes())
+
+
+def test_report_levity_polymorphic_num():
+    class_env, env = _setup()
+    info = class_env.class_info("Num")
+    plus_type = infer_expr(apply(EVar("+"), ELitIntHash(3), ELitIntHash(4)),
+                           env=env, class_env=class_env)
+
+    evaluator = Evaluator(Program(class_env=class_env))
+    value = evaluator.eval(apply(EVar("+"), ELitIntHash(3), ELitIntHash(4)))
+    result = evaluator.int_result(value)
+    boxes = evaluator.costs.heap_allocations
+
+    try:
+        infer_binding(ABS2_BINDING.name, ABS2_BINDING.params,
+                      ABS2_BINDING.rhs, signature=ABS_SIGNATURE, env=env,
+                      class_env=class_env)
+        abs2_verdict = "accepted"
+    except LevityError:
+        abs2_verdict = "rejected"
+    abs1_ok = infer_binding(ABS1_BINDING.name, ABS1_BINDING.params,
+                            ABS1_BINDING.rhs, signature=ABS_SIGNATURE,
+                            env=env, class_env=class_env).ok
+
+    name, expr = dictionary_binding(info,
+                                    class_env.lookup_instance("Num",
+                                                              INT_HASH_TY))
+    rows = [
+        ("3# + 4# type", "Int#", plus_type.pretty()),
+        ("3# + 4# value", "7#", f"{result}#"),
+        ("operand boxes allocated", "0", boxes),
+        ("$dNumInt# dictionary", "MkNum (+#) ... (monomorphic)",
+         f"{name} = {expr.pretty()[:40]}..."),
+        ("abs1 = abs", "accepted (arity 1)",
+         f"{'accepted' if abs1_ok else 'rejected'} "
+         f"(arity {selector_arity(info, 'abs')})"),
+        ("abs2 x = abs x", "rejected (arity 2)",
+         f"{abs2_verdict} (arity {method_reference_arity(info, 'abs', 1)})"),
+    ]
+    emit("E8: levity-polymorphic Num and abs1/abs2 (Section 7.3)", rows)
+    assert result == 7 and boxes == 0
+    assert abs1_ok and abs2_verdict == "rejected"
+
+
+@pytest.mark.benchmark(group="e8-classes")
+def test_bench_unboxed_class_arithmetic(benchmark):
+    class_env, _ = _setup()
+
+    def run():
+        evaluator = Evaluator(Program(class_env=class_env))
+        value = evaluator.eval(apply(EVar("+"), ELitIntHash(3),
+                                     ELitIntHash(4)))
+        return evaluator.int_result(value)
+    assert benchmark(run) == 7
+
+
+@pytest.mark.benchmark(group="e8-classes")
+def test_bench_dictionary_construction(benchmark):
+    class_env, _ = _setup()
+
+    def run():
+        evaluator = Evaluator(Program(class_env=class_env))
+        dictionary = evaluator.build_dictionary("Num", INT_HASH_TY)
+        plus = evaluator.select_method(dictionary, "+")
+        return evaluator.int_result(
+            evaluator.apply_value(evaluator.apply_value(plus, UnboxedInt(1)),
+                                  UnboxedInt(2)))
+    assert benchmark(run) == 3

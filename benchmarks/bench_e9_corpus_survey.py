@@ -1,0 +1,56 @@
+"""E9 (Section 8.1): the base/ghc-prim survey.
+
+Paper claims reproduced:
+* six library functions were levity-generalised (error,
+  errorWithoutStackTrace, ⊥/undefined, oneShot, runRW#, ($));
+* 34 of the 76 classes in base and ghc-prim can be levity-generalised.
+  Our conservative analysis over the reconstructed corpus finds a somewhat
+  smaller set (see EXPERIMENTS.md for the per-class differences); the shape
+  — a substantial fraction of the standard classes generalise with no
+  changes to their instances — is reproduced.
+"""
+
+import pytest
+
+from benchreport import emit
+from repro.corpus import survey_classes, survey_functions
+
+
+def test_report_function_survey():
+    survey = survey_functions()
+    rows = [(entry.name, "levity-generalised",
+             "verified levity-polymorphic scheme"
+             if survey.verified[entry.name] else "NOT generalised")
+            for entry in survey.entries]
+    rows.append(("total functions", "6", survey.count))
+    emit("E9a: the six levity-generalised functions", rows)
+    assert survey.count == 6 and survey.all_verified
+
+
+def test_report_class_survey():
+    survey = survey_classes()
+    rows = survey.summary_rows()
+    rows.append(("example generalisable",
+                 "Num, Eq, Ord, ...",
+                 ", ".join(sorted(v.name for v in survey.generalisable)[:8])
+                 + ", ..."))
+    rows.append(("example blocked",
+                 "Functor, Monad, Read, ...",
+                 ", ".join(sorted(v.name
+                                  for v in survey.not_generalisable)[:8])
+                 + ", ..."))
+    emit("E9b: base/ghc-prim class survey", rows)
+    assert survey.total == 76
+    assert 0.25 <= survey.fraction <= 0.5
+
+
+@pytest.mark.benchmark(group="e9-survey")
+def test_bench_class_survey(benchmark):
+    survey = benchmark(survey_classes)
+    assert survey.total == 76
+
+
+@pytest.mark.benchmark(group="e9-survey")
+def test_bench_function_survey(benchmark):
+    survey = benchmark(survey_functions)
+    assert survey.all_verified

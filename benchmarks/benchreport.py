@@ -1,0 +1,10 @@
+"""Helper for printing paper-vs-measured tables from the benchmark harness."""
+
+
+def emit(title, rows):
+    """Print a small aligned table of (label, paper, measured) rows."""
+    print(f"\n=== {title} ===")
+    width = max(len(str(r[0])) for r in rows) + 2
+    print(f"{'metric':<{width}} {'paper':>20} {'measured':>20}")
+    for label, paper, measured in rows:
+        print(f"{str(label):<{width}} {str(paper):>20} {str(measured):>20}")

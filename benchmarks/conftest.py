@@ -1,0 +1,5 @@
+"""Shared configuration for the benchmark harness."""
+
+import sys
+
+sys.setrecursionlimit(200_000)

@@ -1,0 +1,81 @@
+"""Levity-polymorphic type classes: the Section 7.3 walkthrough.
+
+Run with:  python examples/levity_poly_classes.py
+
+Shows the generalised ``Num (a :: TYPE r)`` class, the ``Num Int#`` instance
+built from primops, the dictionary that implements it, ``3# + 4#`` running
+without boxing, and the ``abs1`` / ``abs2`` contrast.
+"""
+
+from repro.classes import (
+    ABS1_BINDING,
+    ABS2_BINDING,
+    ABS_SIGNATURE,
+    dictionary_binding,
+    dictionary_data_decl,
+    method_reference_arity,
+    selector_arity,
+    standard_class_env,
+)
+from repro.core.errors import LevityError
+from repro.infer import Inferencer, infer_binding, infer_expr
+from repro.pretty import render_scheme
+from repro.runtime import Evaluator, Program
+from repro.surface.ast import ELitDoubleHash, ELitIntHash, ELitInt, EVar, apply
+from repro.surface.prelude import prelude_env
+from repro.surface.types import INT_HASH_TY
+
+
+def main():
+    inferencer = Inferencer()
+    env = prelude_env()
+    class_env = standard_class_env(levity_polymorphic=True,
+                                   inferencer=inferencer, env=env)
+    env = env.bind_many(class_env.all_method_schemes())
+    info = class_env.class_info("Num")
+
+    print("The generalised class and its selector types:")
+    print("  class Num (a :: TYPE r) where (+), (-), (*), negate, abs")
+    plus_scheme = info.selector_scheme(info.method("+"))
+    print(f"  (+) :: {plus_scheme.pretty()}")
+    print(f"  shown to users as:  {render_scheme(plus_scheme)}\n")
+
+    print("The dictionary is an ordinary lifted record (Section 7.3):")
+    print(f"  {dictionary_data_decl(info).pretty()}")
+    name, expr = dictionary_binding(
+        info, class_env.lookup_instance("Num", INT_HASH_TY))
+    print(f"  {name} = {expr.pretty()}\n")
+
+    print("Using the class at unboxed and boxed types:")
+    evaluator = Evaluator(Program(class_env=class_env))
+    for label, program in [
+            ("3# + 4#", apply(EVar("+"), ELitIntHash(3), ELitIntHash(4))),
+            ("abs (negate 5#)",
+             apply(EVar("abs"), apply(EVar("negate"), ELitIntHash(5)))),
+            ("2.5## * 4.0##",
+             apply(EVar("*"), ELitDoubleHash(2.5), ELitDoubleHash(4.0))),
+            ("3 + 4 (boxed)", apply(EVar("+"), ELitInt(3), ELitInt(4)))]:
+        type_ = infer_expr(program, env=env, class_env=class_env)
+        value = evaluator.force(evaluator.eval(program))
+        print(f"  {label:<18} :: {type_.pretty():<8} = "
+              f"{value.show(evaluator.heap)}")
+    print()
+
+    print("abs1 vs abs2 (η-equivalent definitions are not equivalent!):")
+    abs1 = infer_binding(ABS1_BINDING.name, ABS1_BINDING.params,
+                         ABS1_BINDING.rhs, signature=ABS_SIGNATURE,
+                         env=env, class_env=class_env)
+    print(f"  abs1 = abs       accepted, compiled arity "
+          f"{selector_arity(info, 'abs')} (just the dictionary)")
+    try:
+        infer_binding(ABS2_BINDING.name, ABS2_BINDING.params,
+                      ABS2_BINDING.rhs, signature=ABS_SIGNATURE,
+                      env=env, class_env=class_env)
+    except LevityError as exc:
+        print(f"  abs2 x = abs x   rejected, would have arity "
+              f"{method_reference_arity(info, 'abs', 1)}:")
+        print(f"      {exc}")
+
+
+if __name__ == "__main__":
+    main()

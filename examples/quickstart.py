@@ -1,0 +1,99 @@
+"""Quickstart: kinds as calling conventions, in five minutes.
+
+Run with:  python examples/quickstart.py
+
+This walks through the paper's core ideas using the public API:
+1. every value type has a kind ``TYPE r`` that fixes its runtime
+   representation (and hence calling convention);
+2. inference never *infers* levity polymorphism (``f x = x`` defaults to
+   lifted types), but declared levity polymorphism is checked;
+3. levity-polymorphic binders are rejected — the ``bTwice`` example;
+4. the formal calculus L compiles to the machine language M and runs.
+"""
+
+from repro.core.kinds import REP_KIND
+from repro.core.errors import LevityError
+from repro.infer import infer_binding, infer_expr
+from repro.pretty import PrinterOptions, render_scheme
+from repro.surface.ast import EApp, ELitIntHash, ELitString, EVar, apply
+from repro.surface.prelude import DOLLAR_SCHEME, prelude_env
+from repro.surface.types import (
+    Binder,
+    BOOL_TY,
+    ForAllTy,
+    INT_HASH_TY,
+    INT_TY,
+    STRING_TY,
+    TyVar,
+    UnboxedTupleTy,
+    fun,
+    kind_of_type,
+    rep_var_kind,
+)
+
+
+def section(title):
+    print(f"\n--- {title} ---")
+
+
+def main():
+    env = prelude_env()
+
+    section("1. Kinds describe runtime representations (Section 4)")
+    for name, type_ in [("Int", INT_TY), ("Int#", INT_HASH_TY),
+                        ("Int -> Int#", fun(INT_TY, INT_HASH_TY)),
+                        ("(# Int, Int# #)",
+                         UnboxedTupleTy((INT_TY, INT_HASH_TY)))]:
+        kind = kind_of_type(type_)
+        shape = tuple(r.value for r in kind.rep.register_shape())
+        print(f"  {name:<18} :: {kind.pretty():<35} registers: {shape}")
+
+    section("2. Inference never infers levity polymorphism (Section 5.2)")
+    result = infer_binding("f", ["x"], EVar("x"), env=env)
+    print(f"  f x = x            is inferred at   {result.scheme.pretty()}")
+    print(f"  (representation variables defaulted: "
+          f"{result.defaulted_rep_vars})")
+
+    section("3. Declared levity polymorphism is checked (Sections 5.1, 3.3)")
+    my_error_sig = ForAllTy(
+        (Binder("r", REP_KIND), Binder("a", rep_var_kind("r"))),
+        fun(STRING_TY, TyVar("a", rep_var_kind("r"))))
+    ok = infer_binding("myError", ["s"],
+                       EApp(EVar("error"), ELitString("Program error")),
+                       signature=my_error_sig, env=env)
+    print(f"  myError :: {ok.scheme.pretty()}   -- accepted")
+
+    levity_id_sig = ForAllTy(
+        (Binder("r", REP_KIND), Binder("a", rep_var_kind("r"))),
+        fun(TyVar("a", rep_var_kind("r")), TyVar("a", rep_var_kind("r"))))
+    try:
+        infer_binding("f", ["x"], EVar("x"), signature=levity_id_sig, env=env)
+    except LevityError as exc:
+        print(f"  f :: forall r (a :: TYPE r). a -> a   -- rejected:")
+        print(f"      {exc}")
+
+    section("4. ($) works at unboxed result types; printing defaults reps")
+    print(f"  ($) shown to users:    {render_scheme(DOLLAR_SCHEME)}")
+    print(f"  with explicit reps:    "
+          f"{render_scheme(DOLLAR_SCHEME, PrinterOptions(print_explicit_runtime_reps=True))}")
+    print(f"  3# +# 4#           ::  "
+          f"{infer_expr(apply(EVar('+#'), ELitIntHash(3), ELitIntHash(4)), env=env).pretty()}")
+
+    section("5. The formal pipeline: L -> M -> run (Section 6)")
+    from repro.compile import compile_expr, compile_and_run
+    from repro.lang_l.examples import DOLLAR
+    from repro.lang_l.syntax import app, boxed_int, Case, Var, lam, INT, TyApp, RepApp, I
+    from repro.lang_l import INT_HASH
+    unbox = lam("b", INT, Case(Var("b"), "x", Var("x")))
+    program = app(TyApp(TyApp(RepApp(DOLLAR, I), INT), INT_HASH),
+                  unbox, boxed_int(17))
+    compiled = compile_expr(program)
+    print(f"  L  source : ($) @I @Int @Int# unbox (I#[17])")
+    print(f"  M  code   : {compiled.pretty()}")
+    outcome = compile_and_run(program)
+    print(f"  M  result : {outcome.unwrap().pretty()}   "
+          f"({outcome.costs.steps} machine steps)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""The old world and the new: OpenKind sub-kinding vs levity polymorphism.
+
+Run with:  python examples/subkind_vs_levity.py
+
+Reproduces the Section 3 pain points under the legacy (pre-GHC-8) design and
+shows how the levity-polymorphism design of Section 4 resolves each.
+"""
+
+from repro.core.kinds import REP_KIND
+from repro.infer import infer_binding
+from repro.subkind import (
+    LEGACY_ERROR,
+    describe_error_message,
+    hash_kind_loses_calling_convention,
+    legacy_infer_wrapper_kind,
+    legacy_instantiation_ok,
+    legacy_restrictions,
+)
+from repro.surface.ast import EApp, ELitString, EVar
+from repro.surface.prelude import prelude_env
+from repro.surface.types import (
+    Binder,
+    CHAR_HASH_TY,
+    DOUBLE_HASH_TY,
+    ForAllTy,
+    INT_HASH_TY,
+    INT_TY,
+    STRING_TY,
+    TyVar,
+    UnboxedTupleTy,
+    fun,
+    rep_var_kind,
+)
+
+
+def main():
+    print("1. The fragile magic of error (Section 3.3)\n")
+    print(f"   legacy {LEGACY_ERROR.pretty()}")
+    print(f"   error @Int#   -> "
+          f"{'accepted' if legacy_instantiation_ok(LEGACY_ERROR, INT_HASH_TY) else 'rejected'}")
+    wrapper = legacy_infer_wrapper_kind(LEGACY_ERROR)
+    print(f"   user wrapper  {wrapper.pretty()}")
+    print(f"   myError @Int# -> "
+          f"{'accepted' if legacy_instantiation_ok(wrapper, INT_HASH_TY) else 'rejected'}")
+    print(f"   error message: {describe_error_message(wrapper, INT_HASH_TY)}\n")
+
+    print("   With levity polymorphism the wrapper keeps full generality:")
+    sig = ForAllTy((Binder("r", REP_KIND), Binder("a", rep_var_kind("r"))),
+                   fun(STRING_TY, TyVar("a", rep_var_kind("r"))))
+    result = infer_binding("myError", ["s"],
+                           EApp(EVar("error"), ELitString("Program error")),
+                           signature=sig, env=prelude_env())
+    print(f"   myError :: {result.scheme.pretty()}  -- accepted\n")
+
+    print("2. '#' erases calling conventions; TYPE r records them (§3.2, §7.1)\n")
+    report = hash_kind_loses_calling_convention(
+        (INT_HASH_TY, CHAR_HASH_TY, DOUBLE_HASH_TY,
+         UnboxedTupleTy((INT_TY, INT_TY))))
+    for name, entry in report.items():
+        if isinstance(entry, dict):
+            print(f"   {name:<18} legacy {entry['legacy_kind']:<4} "
+                  f"modern {entry['modern_kind']:<35} "
+                  f"registers {entry['register_shape']}")
+    print()
+
+    print("3. The restrictions the old design imposed, now lifted (§7.1)\n")
+    for key, text in legacy_restrictions().items():
+        print(f"   [{key}] {text}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""The Section 2.1 experiment: boxed ``sumTo`` vs unboxed ``sumTo#``.
+
+Run with:  python examples/sumto_cost_model.py [n]
+
+The paper measures 10,000,000 iterations compiled by GHC: < 0.01 s unboxed,
+> 2 s boxed.  Our cost-model runtime reproduces the *shape* of that result:
+the unboxed loop performs no memory traffic at all, while the boxed loop
+allocates boxes and thunks every iteration.
+"""
+
+import sys
+
+sys.setrecursionlimit(200_000)
+
+from repro.runtime import run_sum_to_boxed, run_sum_to_unboxed
+
+
+def main(n=400):
+    print(f"sumTo 0 {n}  (boxed Int)   vs   sumTo# 0 {n}#  (unboxed Int#)\n")
+    boxed_result, boxed = run_sum_to_boxed(n)
+    unboxed_result, unboxed = run_sum_to_unboxed(n)
+    assert boxed_result == unboxed_result == n * (n + 1) // 2
+    print(f"both compute {boxed_result}\n")
+
+    rows = [
+        ("heap allocations", boxed.heap_allocations, unboxed.heap_allocations),
+        ("words allocated", boxed.words_allocated, unboxed.words_allocated),
+        ("thunks allocated", boxed.thunk_allocations,
+         unboxed.thunk_allocations),
+        ("thunks forced", boxed.thunk_forces, unboxed.thunk_forces),
+        ("pointer reads", boxed.pointer_reads, unboxed.pointer_reads),
+        ("primops executed", boxed.primops, unboxed.primops),
+        ("memory traffic (total)", boxed.memory_traffic(),
+         unboxed.memory_traffic()),
+        ("estimated cycles", boxed.estimated_cycles(),
+         unboxed.estimated_cycles()),
+    ]
+    print(f"{'metric':<26} {'boxed':>12} {'unboxed':>12}")
+    for metric, b, u in rows:
+        print(f"{metric:<26} {b:>12} {u:>12}")
+    ratio = boxed.estimated_cycles() / max(1, unboxed.estimated_cycles())
+    print(f"\nboxed / unboxed cycle ratio: {ratio:.1f}x "
+          f"(the paper's wall-clock gap is >100x on native code)")
+    print("the unboxed loop, like the paper's, touches the heap "
+          f"{unboxed.memory_traffic()} times")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 400)

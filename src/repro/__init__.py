@@ -1,0 +1,43 @@
+"""repro — a reproduction of *Levity Polymorphism* (Eisenberg & Peyton Jones, PLDI 2017).
+
+The package is organised around the paper's structure:
+
+* :mod:`repro.core` — runtime representations (``Rep``), kinds
+  (``TYPE r``), and the levity-polymorphism restrictions (Sections 4-5);
+* :mod:`repro.lang_l` — the formal source calculus **L** (Figures 2-4);
+* :mod:`repro.lang_m` — the machine-level ANF calculus **M** (Figures 5-6);
+* :mod:`repro.compile` — the type-directed compilation L -> M (Figure 7);
+* :mod:`repro.metatheory` — executable checks of the paper's theorems
+  (Preservation, Progress, Compilation, Simulation — Section 6);
+* :mod:`repro.surface` — a Haskell-like surface language with unboxed types,
+  unboxed tuples and levity-polymorphic signatures;
+* :mod:`repro.infer` — type/kind/representation inference with the
+  "never infer levity polymorphism" defaulting of Section 5.2;
+* :mod:`repro.classes` — levity-polymorphic type classes compiled via
+  dictionaries (Section 7.3);
+* :mod:`repro.subkind` — the old GHC ``OpenKind`` sub-kinding story
+  (Section 3.2), kept as the baseline comparator;
+* :mod:`repro.runtime` — a cost-model abstract machine that substitutes for
+  native-code measurements (Section 2.1);
+* :mod:`repro.corpus` — the Section 8.1 survey of GHC's ``base``/``ghc-prim``
+  classes and functions;
+* :mod:`repro.pretty` — pretty-printing with ``LiftedRep`` defaulting
+  (Section 8.1).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "lang_l",
+    "lang_m",
+    "compile",
+    "metatheory",
+    "surface",
+    "infer",
+    "classes",
+    "subkind",
+    "runtime",
+    "corpus",
+    "pretty",
+]

@@ -1,0 +1,17 @@
+"""Type-directed compilation from L to M (Figure 7)."""
+
+from .compiler import (
+    CompilationResult,
+    Compiler,
+    VarEnv,
+    compile_and_run,
+    compile_expr,
+)
+
+__all__ = [
+    "CompilationResult",
+    "Compiler",
+    "VarEnv",
+    "compile_and_run",
+    "compile_expr",
+]

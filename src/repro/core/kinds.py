@@ -1,0 +1,255 @@
+"""Kinds as calling conventions: ``TYPE r`` and friends (Section 4).
+
+The central idea of the paper is that the kind of a type determines the
+runtime representation — and hence the calling convention — of its values.
+This module provides:
+
+* :class:`TypeKind` — the kind ``TYPE r`` of value types, parameterised by a
+  :class:`~repro.core.rep.Rep`;
+* :data:`TYPE_LIFTED` (a.k.a. ``Type``) — the synonym ``Type = TYPE LiftedRep``;
+* :class:`ArrowKind` — the kind of type constructors such as
+  ``Maybe :: Type -> Type``;
+* :class:`ConstraintKind` — the kind of class constraints (needed for the
+  levity-polymorphic classes of Section 7.3);
+* :class:`KindVar` — kind variables, for the kind-polymorphic fragments of
+  the surface language.
+
+Kinds are immutable and hashable, so they can be used as dictionary keys by
+the inference engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from .rep import (
+    DOUBLE_REP,
+    FLOAT_REP,
+    INT_REP,
+    LIFTED,
+    Rep,
+    RepVar,
+    UNLIFTED,
+    TupleRep,
+)
+
+
+class Kind:
+    """Abstract base class of kinds."""
+
+    def is_type_kind(self) -> bool:
+        """Is this ``TYPE r`` for some ``r``? (i.e. does it classify values?)"""
+        return isinstance(self, TypeKind)
+
+    def free_rep_vars(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def free_kind_vars(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def substitute_reps(self, mapping: Dict[str, Rep]) -> "Kind":
+        raise NotImplementedError
+
+    def substitute_kinds(self, mapping: Dict[str, "Kind"]) -> "Kind":
+        raise NotImplementedError
+
+    def is_concrete(self) -> bool:
+        """No representation or kind variables anywhere inside."""
+        return not self.free_rep_vars() and not self.free_kind_vars()
+
+    def pretty(self, explicit_runtime_reps: bool = True) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.pretty()
+
+
+@dataclass(frozen=True)
+class TypeKind(Kind):
+    """The kind ``TYPE r`` of types whose values have representation ``r``."""
+
+    rep: Rep
+
+    def free_rep_vars(self) -> FrozenSet[str]:
+        return self.rep.free_rep_vars()
+
+    def free_kind_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def substitute_reps(self, mapping: Dict[str, Rep]) -> Kind:
+        return TypeKind(self.rep.substitute(mapping))
+
+    def substitute_kinds(self, mapping: Dict[str, Kind]) -> Kind:
+        return self
+
+    def is_lifted_type_kind(self) -> bool:
+        """Is this exactly ``Type`` (that is, ``TYPE LiftedRep``)?"""
+        return self.rep == LIFTED
+
+    def pretty(self, explicit_runtime_reps: bool = True) -> str:
+        if self.rep == LIFTED:
+            return "Type"
+        if not explicit_runtime_reps and isinstance(self.rep, RepVar):
+            # Mirrors GHC's default display (Section 8.1): representation
+            # variables are defaulted to LiftedRep when printing unless the
+            # user passes -fprint-explicit-runtime-reps.
+            return "Type"
+        return f"TYPE {self.rep.pretty()}"
+
+
+@dataclass(frozen=True)
+class ArrowKind(Kind):
+    """The kind of type constructors: ``k1 -> k2``."""
+
+    argument: Kind
+    result: Kind
+
+    def free_rep_vars(self) -> FrozenSet[str]:
+        return self.argument.free_rep_vars() | self.result.free_rep_vars()
+
+    def free_kind_vars(self) -> FrozenSet[str]:
+        return self.argument.free_kind_vars() | self.result.free_kind_vars()
+
+    def substitute_reps(self, mapping: Dict[str, Rep]) -> Kind:
+        return ArrowKind(self.argument.substitute_reps(mapping),
+                         self.result.substitute_reps(mapping))
+
+    def substitute_kinds(self, mapping: Dict[str, Kind]) -> Kind:
+        return ArrowKind(self.argument.substitute_kinds(mapping),
+                         self.result.substitute_kinds(mapping))
+
+    def pretty(self, explicit_runtime_reps: bool = True) -> str:
+        arg = self.argument.pretty(explicit_runtime_reps)
+        if isinstance(self.argument, ArrowKind):
+            arg = f"({arg})"
+        return f"{arg} -> {self.result.pretty(explicit_runtime_reps)}"
+
+
+@dataclass(frozen=True)
+class ConstraintKind(Kind):
+    """The kind ``Constraint`` of class constraints such as ``Num a``."""
+
+    def free_rep_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def free_kind_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def substitute_reps(self, mapping: Dict[str, Rep]) -> Kind:
+        return self
+
+    def substitute_kinds(self, mapping: Dict[str, Kind]) -> Kind:
+        return self
+
+    def pretty(self, explicit_runtime_reps: bool = True) -> str:
+        return "Constraint"
+
+
+@dataclass(frozen=True)
+class RepKind(Kind):
+    """The kind ``Rep`` itself, so that ``r :: Rep`` can appear in contexts.
+
+    ``Rep`` is an ordinary promoted data type in GHC (Section 4.1); here we
+    give it its own kind constant so the surface language can quantify
+    ``forall (r :: Rep).`` explicitly.
+    """
+
+    def free_rep_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def free_kind_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def substitute_reps(self, mapping: Dict[str, Rep]) -> Kind:
+        return self
+
+    def substitute_kinds(self, mapping: Dict[str, Kind]) -> Kind:
+        return self
+
+    def pretty(self, explicit_runtime_reps: bool = True) -> str:
+        return "Rep"
+
+
+@dataclass(frozen=True)
+class KindVar(Kind):
+    """A kind variable, used by kind polymorphism in the surface language."""
+
+    name: str
+    unification: bool = False
+
+    def free_rep_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def free_kind_vars(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def substitute_reps(self, mapping: Dict[str, Rep]) -> Kind:
+        return self
+
+    def substitute_kinds(self, mapping: Dict[str, Kind]) -> Kind:
+        return mapping.get(self.name, self)
+
+    def pretty(self, explicit_runtime_reps: bool = True) -> str:
+        return self.name
+
+
+# -- canonical kinds ---------------------------------------------------------
+
+#: ``Type``, the kind of ordinary lifted, boxed types (``TYPE LiftedRep``).
+TYPE_LIFTED = TypeKind(LIFTED)
+#: Alias emphasising the synonym ``type Type = TYPE LiftedRep``.
+Type = TYPE_LIFTED
+#: ``TYPE UnliftedRep`` — boxed but unlifted types such as ``ByteArray#``.
+TYPE_UNLIFTED = TypeKind(UNLIFTED)
+#: ``TYPE IntRep`` — the kind of ``Int#``.
+TYPE_INT = TypeKind(INT_REP)
+#: ``TYPE FloatRep`` — the kind of ``Float#``.
+TYPE_FLOAT = TypeKind(FLOAT_REP)
+#: ``TYPE DoubleRep`` — the kind of ``Double#``.
+TYPE_DOUBLE = TypeKind(DOUBLE_REP)
+#: ``Constraint``.
+CONSTRAINT = ConstraintKind()
+#: The kind ``Rep`` of runtime representations.
+REP_KIND = RepKind()
+
+
+def type_kind(rep: Rep) -> TypeKind:
+    """Build ``TYPE rep``."""
+    return TypeKind(rep)
+
+
+def unboxed_tuple_kind(*component_reps: Rep) -> TypeKind:
+    """The kind ``TYPE (TupleRep [...])`` of an unboxed tuple type."""
+    return TypeKind(TupleRep(component_reps))
+
+
+def arrow_kind(*kinds: Kind) -> Kind:
+    """Right-nested arrow kind: ``arrow_kind(a, b, c) == a -> (b -> c)``."""
+    if not kinds:
+        raise ValueError("arrow_kind needs at least one kind")
+    result = kinds[-1]
+    for argument in reversed(kinds[:-1]):
+        result = ArrowKind(argument, result)
+    return result
+
+
+_kind_var_counter = itertools.count()
+
+
+def fresh_kind_var(prefix: str = "k") -> KindVar:
+    """A fresh kind unification variable."""
+    return KindVar(f"{prefix}{next(_kind_var_counter)}", unification=True)
+
+
+def kind_of_type_constructor(arity: int, result: Kind = TYPE_LIFTED) -> Kind:
+    """The kind of an ordinary ``arity``-ary lifted type constructor.
+
+    For example ``kind_of_type_constructor(1)`` is ``Type -> Type`` (the kind
+    of ``Maybe``), and ``kind_of_type_constructor(0)`` is just ``Type``.
+    """
+    kind: Kind = result
+    for _ in range(arity):
+        kind = ArrowKind(TYPE_LIFTED, kind)
+    return kind

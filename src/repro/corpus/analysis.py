@@ -1,0 +1,168 @@
+"""The Section 8.1 survey: which classes and functions can be levity-generalised.
+
+Two analyses are provided:
+
+* :func:`analyse_class` / :func:`survey_classes` — decide, for every class in
+  the corpus, whether it can be levity-generalised.  The criterion is the
+  conservative reading of Section 5.1 plus ticket #12708:
+
+  1. the class variable must have kind ``Type`` (only then can it be
+     re-kinded to ``TYPE r``);
+  2. every method must either mention the variable only in *direct* positions
+     (immediate argument or result of a function arrow — fine, because the
+     per-instance implementations are monomorphic) or have a default
+     implementation (in which case the generalised class simply leaves that
+     method usable only at lifted instantiations);
+  3. all superclasses must themselves be generalisable.
+
+* :func:`survey_functions` — the six already-special-cased functions that
+  levity polymorphism generalises "for free" (``error``,
+  ``errorWithoutStackTrace``, ``undefined``/⊥, ``oneShot``, ``runRW#``,
+  ``($)``), checked against the prelude's actual schemes.
+
+The paper reports 34 / 76 classes; our conservative analysis, which does not
+model every per-method idea from the ticket, finds a somewhat smaller set —
+EXPERIMENTS.md records both numbers and the per-class differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .classes_db import CLASSES, ClassEntry, corpus_by_name
+from .functions_db import LEVITY_GENERALISED_FUNCTIONS, FunctionEntry
+
+
+@dataclass(frozen=True)
+class ClassVerdict:
+    """The analysis result for one class."""
+
+    name: str
+    package: str
+    generalisable: bool
+    reason: str
+
+    def pretty(self) -> str:
+        verdict = "generalisable" if self.generalisable else "not generalisable"
+        return f"{self.name:<18} {verdict:<18} {self.reason}"
+
+
+def analyse_class(entry: ClassEntry,
+                  db: Optional[Dict[str, ClassEntry]] = None,
+                  _seen: Optional[frozenset] = None) -> ClassVerdict:
+    """Decide whether one class can be levity-generalised."""
+    db = db or corpus_by_name()
+    seen = _seen or frozenset()
+    if entry.name in seen:
+        return ClassVerdict(entry.name, entry.package, True,
+                            "assumed generalisable (superclass cycle)")
+    seen = seen | {entry.name}
+
+    if entry.class_var_kind != "Type":
+        return ClassVerdict(
+            entry.name, entry.package, False,
+            f"class variable has kind {entry.class_var_kind}, not Type")
+
+    for method in entry.methods:
+        if not method.var_only_in_direct_positions and not method.has_default:
+            return ClassVerdict(
+                entry.name, entry.package, False,
+                f"method {method.name!r} places the class variable under "
+                "another type constructor and has no default")
+
+    for superclass in entry.superclasses:
+        parent = db.get(superclass)
+        if parent is None:
+            continue
+        verdict = analyse_class(parent, db, seen)
+        if not verdict.generalisable:
+            return ClassVerdict(
+                entry.name, entry.package, False,
+                f"superclass {superclass} is not generalisable "
+                f"({verdict.reason})")
+
+    return ClassVerdict(entry.name, entry.package, True,
+                        "all methods are representation-agnostic")
+
+
+@dataclass
+class ClassSurvey:
+    """The whole-corpus survey result."""
+
+    verdicts: List[ClassVerdict]
+    paper_total: int = 76
+    paper_generalisable: int = 34
+
+    @property
+    def total(self) -> int:
+        return len(self.verdicts)
+
+    @property
+    def generalisable(self) -> List[ClassVerdict]:
+        return [v for v in self.verdicts if v.generalisable]
+
+    @property
+    def not_generalisable(self) -> List[ClassVerdict]:
+        return [v for v in self.verdicts if not v.generalisable]
+
+    @property
+    def generalisable_count(self) -> int:
+        return len(self.generalisable)
+
+    @property
+    def fraction(self) -> float:
+        return self.generalisable_count / self.total if self.total else 0.0
+
+    def summary_rows(self) -> List[Tuple[str, str, str]]:
+        """Rows (metric, paper, measured) matching EXPERIMENTS.md's table."""
+        return [
+            ("classes surveyed", str(self.paper_total), str(self.total)),
+            ("levity-generalisable", str(self.paper_generalisable),
+             str(self.generalisable_count)),
+            ("fraction", f"{self.paper_generalisable / self.paper_total:.2f}",
+             f"{self.fraction:.2f}"),
+        ]
+
+    def pretty(self) -> str:
+        lines = [f"classes surveyed: {self.total} (paper: {self.paper_total})",
+                 f"levity-generalisable: {self.generalisable_count} "
+                 f"(paper: {self.paper_generalisable})", ""]
+        lines.extend(v.pretty() for v in sorted(self.verdicts,
+                                                key=lambda v: v.name))
+        return "\n".join(lines)
+
+
+def survey_classes() -> ClassSurvey:
+    """Run the analysis over the whole corpus."""
+    db = corpus_by_name()
+    return ClassSurvey([analyse_class(entry, db) for entry in CLASSES])
+
+
+@dataclass
+class FunctionSurvey:
+    """The six levity-generalised functions, checked against the prelude."""
+
+    entries: List[FunctionEntry]
+    verified: Dict[str, bool]
+
+    @property
+    def count(self) -> int:
+        return len(self.entries)
+
+    @property
+    def all_verified(self) -> bool:
+        return all(self.verified.values())
+
+
+def survey_functions() -> FunctionSurvey:
+    """Check that every Section 8.1 function really has a levity-polymorphic scheme."""
+    from ..surface.prelude import prelude_schemes
+
+    schemes = prelude_schemes()
+    verified: Dict[str, bool] = {}
+    for entry in LEVITY_GENERALISED_FUNCTIONS:
+        scheme = schemes.get(entry.prelude_name)
+        verified[entry.name] = (scheme is not None
+                                and scheme.is_levity_polymorphic())
+    return FunctionSurvey(list(LEVITY_GENERALISED_FUNCTIONS), verified)

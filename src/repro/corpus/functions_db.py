@@ -1,0 +1,61 @@
+"""The six library functions levity-generalised in GHC 8 (Section 8.1).
+
+"We have generalized the type of six library functions where previous
+versions of GHC have used special cases in order to deal with the
+possibility of unlifted types.  These are ``error``,
+``errorWithoutStackTrace``, ``⊥`` [undefined], ``oneShot``, ``runRW#``, and
+``($)``."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class FunctionEntry:
+    """One of the six generalised functions."""
+
+    name: str                    # name as the paper writes it
+    prelude_name: str            # name in repro.surface.prelude
+    previously_special_cased: bool
+    generalised_type: str        # the new, levity-polymorphic type
+    legacy_type: str             # the old type / special case description
+
+
+LEVITY_GENERALISED_FUNCTIONS: Tuple[FunctionEntry, ...] = (
+    FunctionEntry(
+        "error", "error", True,
+        "forall (r :: Rep) (a :: TYPE r). String -> a",
+        "forall (a :: OpenKind). String -> a  (magical OpenKind special case)"),
+    FunctionEntry(
+        "errorWithoutStackTrace", "errorWithoutStackTrace", True,
+        "forall (r :: Rep) (a :: TYPE r). String -> a",
+        "forall (a :: OpenKind). String -> a"),
+    FunctionEntry(
+        "undefined (⊥)", "undefined", True,
+        "forall (r :: Rep) (a :: TYPE r). a",
+        "forall (a :: OpenKind). a"),
+    FunctionEntry(
+        "oneShot", "oneShot", True,
+        "forall (q r :: Rep) (a :: TYPE q) (b :: TYPE r). (a -> b) -> a -> b",
+        "special-cased in the compiler (a magic wired-in identity)"),
+    FunctionEntry(
+        "runRW#", "runRW#", True,
+        "forall (r :: Rep) (o :: TYPE r). (State# RealWorld -> o) -> o",
+        "special-cased in the code generator"),
+    FunctionEntry(
+        "($)", "$", True,
+        "forall (r :: Rep) (a :: Type) (b :: TYPE r). (a -> b) -> a -> b",
+        "forall a b. (a -> b) -> a -> b plus an ad-hoc special case in the "
+        "type checker for unlifted results"),
+)
+
+#: ``(.)`` could be generalised the same way but the paper reports GHC chose
+#: not to (yet); we model the generalised type in the prelude regardless so
+#: the E7 benchmark can exercise it.
+COMPOSE_NOT_YET_GENERALISED = FunctionEntry(
+    "(.)", ".", False,
+    "forall (r :: Rep) a b (c :: TYPE r). (b -> c) -> (a -> b) -> a -> c",
+    "forall a b c. (b -> c) -> (a -> b) -> a -> c")

@@ -1,0 +1,275 @@
+"""Unification of types, kinds and runtime representations (Section 5.2).
+
+The paper observes that phrasing "which concrete instantiation of ``TYPE``?"
+as the choice of a ``Rep`` is a boon for type inference: when GHC checks
+``λx → e`` it invents a type unification variable ``α`` *and* a
+representation unification variable ``ρ`` with ``α :: TYPE ρ``, and ordinary
+unification does the rest.  This module provides exactly that machinery:
+
+* :class:`UnifierState` — the store of solutions for type unification
+  variables (``TyUVar``), representation unification variables
+  (``RepVar(unification=True)``) and kind unification variables;
+* ``unify_types`` / ``unify_kinds`` / ``unify_reps`` — first-order
+  unification with occurs checks;
+* ``zonk_*`` — replace solved variables by their solutions, the analogue of
+  GHC's *zonking* (Section 8.2 notes that levity checks must happen on
+  zonked types).
+
+In GHC the solutions live in mutable cells inside the variables themselves;
+here they live in explicit dictionaries, which keeps the type ASTs immutable
+and makes the tests easier to write, but the observable behaviour is the
+same.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.errors import OccursCheckError, UnificationError
+from ..core.kinds import (
+    ArrowKind,
+    ConstraintKind,
+    Kind,
+    KindVar,
+    RepKind,
+    TypeKind,
+)
+from ..core.rep import LIFTED, Rep, RepVar, SumRep, TupleRep
+from ..surface.types import (
+    ForAllTy,
+    FunTy,
+    QualTy,
+    SType,
+    TyApp,
+    TyCon,
+    TyUVar,
+    TyVar,
+    UnboxedTupleTy,
+)
+
+
+@dataclass
+class UnifierState:
+    """Mutable solver state: solutions for all three sorts of variables."""
+
+    type_solutions: Dict[str, SType] = field(default_factory=dict)
+    rep_solutions: Dict[str, Rep] = field(default_factory=dict)
+    kind_solutions: Dict[str, Kind] = field(default_factory=dict)
+    rep_uvar_names: set = field(default_factory=set)
+    _counter: "itertools.count" = field(default_factory=itertools.count)
+
+    # -- fresh variables -----------------------------------------------------
+
+    def fresh_rep_uvar(self, prefix: str = "rho") -> RepVar:
+        """A fresh representation unification variable ``ρ``."""
+        var = RepVar(f"{prefix}{next(self._counter)}", unification=True)
+        self.rep_uvar_names.add(var.name)
+        return var
+
+    def is_rep_uvar(self, name: str) -> bool:
+        """Was ``name`` created by :meth:`fresh_rep_uvar` (vs. a rigid var)?"""
+        return name in self.rep_uvar_names
+
+    def fresh_type_uvar(self, kind: Optional[Kind] = None,
+                        prefix: str = "alpha") -> TyUVar:
+        """A fresh type unification variable ``α :: kind``.
+
+        When no kind is supplied, a fresh ``TYPE ρ`` kind is invented — the
+        Section 5.2 recipe.
+        """
+        if kind is None:
+            kind = TypeKind(self.fresh_rep_uvar())
+        return TyUVar(f"{prefix}{next(self._counter)}", kind)
+
+    def fresh_kind_uvar(self, prefix: str = "kappa") -> KindVar:
+        return KindVar(f"{prefix}{next(self._counter)}", unification=True)
+
+    # -- zonking ---------------------------------------------------------------
+
+    def zonk_rep(self, rep: Rep) -> Rep:
+        """Replace solved representation variables by their solutions."""
+        return rep.zonk(self.rep_solutions.get)
+
+    def zonk_kind(self, kind: Kind) -> Kind:
+        if isinstance(kind, TypeKind):
+            return TypeKind(self.zonk_rep(kind.rep))
+        if isinstance(kind, ArrowKind):
+            return ArrowKind(self.zonk_kind(kind.argument),
+                             self.zonk_kind(kind.result))
+        if isinstance(kind, KindVar):
+            solution = self.kind_solutions.get(kind.name)
+            if solution is None:
+                return kind
+            return self.zonk_kind(solution)
+        return kind
+
+    def zonk_type(self, type_: SType) -> SType:
+        if isinstance(type_, TyUVar):
+            solution = self.type_solutions.get(type_.name)
+            if solution is not None:
+                return self.zonk_type(solution)
+            return TyUVar(type_.name, self.zonk_kind(type_.kind))
+        if isinstance(type_, TyVar):
+            return TyVar(type_.name, self.zonk_kind(type_.kind))
+        if isinstance(type_, TyCon):
+            return TyCon(type_.name, self.zonk_kind(type_.kind))
+        if isinstance(type_, FunTy):
+            return FunTy(self.zonk_type(type_.argument),
+                         self.zonk_type(type_.result))
+        if isinstance(type_, TyApp):
+            return TyApp(self.zonk_type(type_.function),
+                         self.zonk_type(type_.argument))
+        if isinstance(type_, UnboxedTupleTy):
+            return UnboxedTupleTy(self.zonk_type(c)
+                                  for c in type_.components)
+        if isinstance(type_, ForAllTy):
+            return ForAllTy(type_.binders, self.zonk_type(type_.body))
+        if isinstance(type_, QualTy):
+            from ..surface.types import ClassConstraint
+            constraints = tuple(
+                ClassConstraint(c.class_name, self.zonk_type(c.argument))
+                for c in type_.constraints)
+            return QualTy(constraints, self.zonk_type(type_.body))
+        return type_
+
+    # -- representation unification --------------------------------------------
+
+    def unify_reps(self, rep1: Rep, rep2: Rep) -> None:
+        """Unify two runtime representations."""
+        rep1 = self.zonk_rep(rep1)
+        rep2 = self.zonk_rep(rep2)
+        if rep1 == rep2:
+            return
+        if isinstance(rep1, RepVar) and rep1.unification:
+            self._bind_rep(rep1, rep2)
+            return
+        if isinstance(rep2, RepVar) and rep2.unification:
+            self._bind_rep(rep2, rep1)
+            return
+        if isinstance(rep1, TupleRep) and isinstance(rep2, TupleRep):
+            if len(rep1.reps) != len(rep2.reps):
+                raise UnificationError(
+                    f"unboxed tuple representations have different arities: "
+                    f"{rep1.pretty()} vs {rep2.pretty()}")
+            for left, right in zip(rep1.reps, rep2.reps):
+                self.unify_reps(left, right)
+            return
+        if isinstance(rep1, SumRep) and isinstance(rep2, SumRep):
+            if len(rep1.alternatives) != len(rep2.alternatives):
+                raise UnificationError(
+                    f"unboxed sum representations have different arities: "
+                    f"{rep1.pretty()} vs {rep2.pretty()}")
+            for left, right in zip(rep1.alternatives, rep2.alternatives):
+                self.unify_reps(left, right)
+            return
+        raise UnificationError(
+            f"cannot unify runtime representations {rep1.pretty()} and "
+            f"{rep2.pretty()}: the types have different memory layouts / "
+            "calling conventions")
+
+    def _bind_rep(self, var: RepVar, rep: Rep) -> None:
+        if var.name in rep.free_rep_vars():
+            raise OccursCheckError(
+                f"representation variable {var.name} occurs in "
+                f"{rep.pretty()}")
+        self.rep_solutions[var.name] = rep
+
+    # -- kind unification --------------------------------------------------------
+
+    def unify_kinds(self, kind1: Kind, kind2: Kind) -> None:
+        """Unify two kinds.
+
+        Under the old sub-kinding story this is where ``OpenKind`` magic
+        lived; with levity polymorphism it is plain structural unification
+        that bottoms out in :meth:`unify_reps`.
+        """
+        kind1 = self.zonk_kind(kind1)
+        kind2 = self.zonk_kind(kind2)
+        if kind1 == kind2:
+            return
+        if isinstance(kind1, KindVar) and kind1.unification:
+            self.kind_solutions[kind1.name] = kind2
+            return
+        if isinstance(kind2, KindVar) and kind2.unification:
+            self.kind_solutions[kind2.name] = kind1
+            return
+        if isinstance(kind1, TypeKind) and isinstance(kind2, TypeKind):
+            self.unify_reps(kind1.rep, kind2.rep)
+            return
+        if isinstance(kind1, ArrowKind) and isinstance(kind2, ArrowKind):
+            self.unify_kinds(kind1.argument, kind2.argument)
+            self.unify_kinds(kind1.result, kind2.result)
+            return
+        raise UnificationError(
+            f"cannot unify kinds {kind1.pretty()} and {kind2.pretty()}")
+
+    # -- type unification ----------------------------------------------------------
+
+    def unify_types(self, type1: SType, type2: SType) -> None:
+        """First-order unification of (rank-1, forall-free) surface types."""
+        type1 = self.zonk_type(type1)
+        type2 = self.zonk_type(type2)
+
+        if isinstance(type1, TyUVar):
+            self._bind_type(type1, type2)
+            return
+        if isinstance(type2, TyUVar):
+            self._bind_type(type2, type1)
+            return
+
+        if isinstance(type1, TyCon) and isinstance(type2, TyCon):
+            if type1.name != type2.name:
+                raise UnificationError(
+                    f"cannot match {type1.name} with {type2.name}")
+            return
+        if isinstance(type1, TyVar) and isinstance(type2, TyVar):
+            if type1.name != type2.name:
+                raise UnificationError(
+                    f"cannot match rigid type variables {type1.name} and "
+                    f"{type2.name}")
+            return
+        if isinstance(type1, FunTy) and isinstance(type2, FunTy):
+            self.unify_types(type1.argument, type2.argument)
+            self.unify_types(type1.result, type2.result)
+            return
+        if isinstance(type1, TyApp) and isinstance(type2, TyApp):
+            self.unify_types(type1.function, type2.function)
+            self.unify_types(type1.argument, type2.argument)
+            return
+        if (isinstance(type1, UnboxedTupleTy)
+                and isinstance(type2, UnboxedTupleTy)):
+            if len(type1.components) != len(type2.components):
+                raise UnificationError(
+                    "unboxed tuples have different arities: "
+                    f"{type1.pretty()} vs {type2.pretty()}")
+            for left, right in zip(type1.components, type2.components):
+                self.unify_types(left, right)
+            return
+
+        raise UnificationError(
+            f"cannot unify {type1.pretty()} with {type2.pretty()}")
+
+    def _bind_type(self, var: TyUVar, type_: SType) -> None:
+        if isinstance(type_, TyUVar) and type_.name == var.name:
+            return
+        if var.name in type_.free_uvars():
+            raise OccursCheckError(
+                f"type variable {var.name} occurs in {type_.pretty()} "
+                "(infinite type)")
+        # Kind preservation: the kinds of the two sides must unify, which is
+        # how representation information flows (e.g. unifying α :: TYPE ρ
+        # with Int# solves ρ := IntRep).
+        from ..surface.types import kind_of_type
+        self.unify_kinds(var.kind, kind_of_type(type_))
+        self.type_solutions[var.name] = type_
+
+    # -- queries --------------------------------------------------------------------
+
+    def unsolved_rep_uvars_in(self, type_: SType) -> frozenset:
+        """Names of representation unification variables still free in ``type_``."""
+        zonked = self.zonk_type(type_)
+        return frozenset(
+            name for name in zonked.free_rep_vars()
+            if name not in self.rep_solutions)

@@ -1,0 +1,55 @@
+"""The language **L**: System F with levity polymorphism (Section 6.1).
+
+Modules:
+
+* :mod:`repro.lang_l.syntax` — grammar of Figure 2 (reps, kinds, types,
+  expressions, values, contexts) with capture-avoiding substitution;
+* :mod:`repro.lang_l.typing` — the typing judgments of Figure 3;
+* :mod:`repro.lang_l.semantics` — the small-step semantics of Figure 4;
+* :mod:`repro.lang_l.examples` — a shared catalogue of example programs.
+"""
+
+from .syntax import (
+    App,
+    Case,
+    Con,
+    Context,
+    EMPTY_CONTEXT,
+    ERROR,
+    ErrorExpr,
+    I,
+    INT,
+    INT_HASH,
+    IntRepL,
+    KIND_INT,
+    KIND_PTR,
+    Lam,
+    LExpr,
+    Lit,
+    LKind,
+    LRep,
+    LType,
+    P,
+    PtrRep,
+    RepApp,
+    RepLam,
+    RepVarL,
+    TArrow,
+    TForallRep,
+    TForallType,
+    TInt,
+    TIntHash,
+    TVar,
+    TyApp,
+    TyLam,
+    Var,
+    app,
+    arrow,
+    boxed_int,
+    lam,
+    rep_to_core,
+)
+from .typing import ERROR_TYPE, check_kind, kind_of, type_of, typechecks
+from .semantics import Bottom, EvalOutcome, Step, Stuck, evaluate, step
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,229 @@
+"""Small-step operational semantics of L (Figure 4 of the paper).
+
+The semantics is *type-directed*: whether an application ``e1 e2`` is
+evaluated lazily (call-by-name, rules S_APPLAZY / S_BETAPTR) or strictly
+(call-by-value, rules S_APPSTRICT / S_APPSTRICT2 / S_BETAUNBOXED) depends on
+the kind of the argument's type — ``TYPE P`` means lazy, ``TYPE I`` means
+strict.  This is exactly the "kinds are calling conventions" story: the kind
+of a type fixes how values of that type are passed.
+
+Evaluation happens under ``Λ`` (type and representation abstractions) so that
+the language supports type erasure (Section 6.1); correspondingly, values are
+recursive under ``Λ``.
+
+The ``error`` constant steps to ⊥, modelled by the :class:`Bottom` outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..core.errors import EvaluationError
+from .syntax import (
+    App,
+    Case,
+    Con,
+    Context,
+    ErrorExpr,
+    KIND_INT,
+    KIND_PTR,
+    Lam,
+    LExpr,
+    Lit,
+    RepApp,
+    RepLam,
+    TyApp,
+    TyLam,
+    Var,
+)
+from .typing import kind_of, type_of
+
+
+@dataclass(frozen=True)
+class Step:
+    """A successful small step to a new expression."""
+
+    expr: LExpr
+
+
+@dataclass(frozen=True)
+class Bottom:
+    """The ⊥ outcome produced by ``error`` (rule S_ERROR)."""
+
+
+@dataclass(frozen=True)
+class Stuck:
+    """No rule applies and the expression is not a value.
+
+    The Progress theorem guarantees this never happens for well-typed closed
+    expressions; the metatheory harness checks exactly that.
+    """
+
+    reason: str = ""
+
+
+StepResult = Union[Step, Bottom, Stuck]
+
+
+def step(ctx: Context, expr: LExpr) -> Optional[StepResult]:
+    """Perform one step of ``Γ ⊢ e −→ e'``.
+
+    Returns ``None`` when ``expr`` is already a value, a :class:`Step` with
+    the reduct, :class:`Bottom` when the program aborts via ``error``, or
+    :class:`Stuck` when no rule applies (which signals an ill-typed input).
+    """
+    if expr.is_value():
+        return None
+
+    if isinstance(expr, ErrorExpr):
+        return Bottom()  # S_ERROR
+
+    if isinstance(expr, App):
+        return _step_application(ctx, expr)
+
+    if isinstance(expr, TyApp):
+        # S_TBETA fires when the head is a type abstraction whose body is a
+        # value; otherwise S_TAPP evaluates the head.
+        head = expr.expr
+        if isinstance(head, TyLam) and head.body.is_value():
+            return Step(head.body.substitute_type(head.var,
+                                                  expr.type_argument))
+        inner = step(ctx, head)
+        return _map_step(inner, lambda e: TyApp(e, expr.type_argument))
+
+    if isinstance(expr, RepApp):
+        head = expr.expr
+        if isinstance(head, RepLam) and head.body.is_value():
+            return Step(head.body.substitute_rep(head.var,
+                                                 expr.rep_argument))
+        inner = step(ctx, head)
+        return _map_step(inner, lambda e: RepApp(e, expr.rep_argument))
+
+    if isinstance(expr, TyLam):
+        # S_TLAM: evaluate under the type abstraction (type erasure).
+        inner = step(ctx.bind_type(expr.var, expr.kind), expr.body)
+        return _map_step(inner, lambda e: TyLam(expr.var, expr.kind, e))
+
+    if isinstance(expr, RepLam):
+        # S_RLAM: evaluate under the representation abstraction.
+        inner = step(ctx.bind_rep(expr.var), expr.body)
+        return _map_step(inner, lambda e: RepLam(expr.var, e))
+
+    if isinstance(expr, Con):
+        # S_CON: evaluate the field of I#[·].
+        inner = step(ctx, expr.argument)
+        return _map_step(inner, Con)
+
+    if isinstance(expr, Case):
+        scrutinee = expr.scrutinee
+        if isinstance(scrutinee, Con) and scrutinee.argument.is_value():
+            # S_MATCH: case I#[n] of I#[x] -> e2  −→  e2[n/x]
+            return Step(expr.body.substitute(expr.binder,
+                                             scrutinee.argument))
+        inner = step(ctx, scrutinee)  # S_CASE
+        return _map_step(inner,
+                         lambda e: Case(e, expr.binder, expr.body))
+
+    if isinstance(expr, Var):
+        return Stuck(f"free variable {expr.name!r}")
+
+    if isinstance(expr, Lam) or isinstance(expr, Lit):
+        return None  # values; unreachable because of the is_value guard
+
+    return Stuck(f"no rule applies to {expr.pretty()}")
+
+
+def _step_application(ctx: Context, expr: App) -> StepResult:
+    """The four application rules, selected by the kind of the argument."""
+    argument_type = type_of(ctx, expr.argument)
+    argument_kind = kind_of(ctx, argument_type)
+
+    if argument_kind == KIND_PTR:
+        # Lazy (call-by-name) application.
+        if isinstance(expr.function, Lam):
+            # S_BETAPTR: substitute the *unevaluated* argument.
+            return Step(expr.function.body.substitute(expr.function.var,
+                                                      expr.argument))
+        inner = step(ctx, expr.function)  # S_APPLAZY
+        return _force_step(inner, lambda e: App(e, expr.argument),
+                           "lazy application head")
+
+    if argument_kind == KIND_INT:
+        # Strict (call-by-value) application.
+        if not expr.argument.is_value():
+            inner = step(ctx, expr.argument)  # S_APPSTRICT
+            return _force_step(inner, lambda e: App(expr.function, e),
+                               "strict application argument")
+        if isinstance(expr.function, Lam):
+            # S_BETAUNBOXED: the argument is a value; substitute it.
+            return Step(expr.function.body.substitute(expr.function.var,
+                                                      expr.argument))
+        inner = step(ctx, expr.function)  # S_APPSTRICT2
+        return _force_step(inner, lambda e: App(e, expr.argument),
+                           "strict application head")
+
+    return Stuck(
+        f"application argument has levity-polymorphic kind "
+        f"{argument_kind.pretty()}; no evaluation rule applies")
+
+
+def _map_step(inner: Optional[StepResult], rebuild) -> Optional[StepResult]:
+    """Propagate an inner step outward through an evaluation context."""
+    if inner is None:
+        return None
+    return _force_step(inner, rebuild, "sub-expression")
+
+
+def _force_step(inner: Optional[StepResult], rebuild,
+                what: str) -> StepResult:
+    if inner is None:
+        return Stuck(f"{what} is a value but no rule applies")
+    if isinstance(inner, Step):
+        return Step(rebuild(inner.expr))
+    return inner  # Bottom and Stuck propagate unchanged
+
+
+@dataclass(frozen=True)
+class EvalOutcome:
+    """Result of running an expression to completion (or giving up)."""
+
+    value: Optional[LExpr]
+    diverged: bool
+    steps: int
+    trace: Optional[list] = None
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.diverged
+
+    def unwrap(self) -> LExpr:
+        if self.value is None:
+            raise EvaluationError("expression evaluated to ⊥ (error)")
+        return self.value
+
+
+def evaluate(expr: LExpr, ctx: Context = Context(), max_steps: int = 10_000,
+             keep_trace: bool = False) -> EvalOutcome:
+    """Run ``expr`` to a value (or to ⊥) using the Figure 4 semantics.
+
+    Raises :class:`EvaluationError` when the expression gets stuck or does
+    not terminate within ``max_steps`` steps.
+    """
+    current = expr
+    trace = [expr] if keep_trace else None
+    for count in range(max_steps):
+        result = step(ctx, current)
+        if result is None:
+            return EvalOutcome(current, False, count, trace)
+        if isinstance(result, Bottom):
+            return EvalOutcome(None, True, count, trace)
+        if isinstance(result, Stuck):
+            raise EvaluationError(
+                f"expression got stuck after {count} steps: {result.reason} "
+                f"(term: {current.pretty()})")
+        current = result.expr
+        if trace is not None:
+            trace.append(current)
+    raise EvaluationError(
+        f"evaluation did not finish within {max_steps} steps")

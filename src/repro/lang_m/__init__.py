@@ -1,0 +1,48 @@
+"""The machine language **M**: ANF with an explicit stack and heap (Section 6.2).
+
+Modules:
+
+* :mod:`repro.lang_m.syntax` — the grammar of Figure 5 (two variable sorts,
+  ANF applications, lazy ``let`` and strict ``let!``);
+* :mod:`repro.lang_m.machine` — machine states ⟨t; S; H⟩ and the transition
+  rules of Figure 6, with cost counters;
+* :mod:`repro.lang_m.joinability` — an executable approximation of the
+  joinability relation used by the Simulation theorem.
+"""
+
+from .joinability import JoinReport, alpha_equivalent, joinable
+from .machine import (
+    AppLitFrame,
+    AppVarFrame,
+    CaseFrame,
+    ForceFrame,
+    Frame,
+    LetFrame,
+    Machine,
+    MachineCosts,
+    MachineResult,
+    MachineState,
+    run,
+)
+from .syntax import (
+    M_ERROR,
+    MAppLit,
+    MAppVar,
+    MCase,
+    MConLit,
+    MConVar,
+    MError,
+    MExpr,
+    MLam,
+    MLet,
+    MLetStrict,
+    MLit,
+    MVar,
+    MVarRef,
+    VarSort,
+    fresh_integer_var,
+    fresh_pointer_var,
+    is_answer,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

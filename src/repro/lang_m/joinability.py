@@ -1,0 +1,185 @@
+"""An executable approximation of the paper's joinability relation (§6.3).
+
+Two M-expressions ``t1`` and ``t2`` are *joinable* (written ``t1 ⇔ t2``) when
+they have a common reduct for any stack and heap.  The paper uses joinability
+to state the Simulation theorem, because compiling an L redex and its reduct
+may differ by administrative ``let`` bindings that need a few extra machine
+steps before the common behaviour is visible.
+
+A fully general decision procedure does not exist (the relation quantifies
+over all stacks and heaps and the expressions may contain λs), so this module
+implements a sound *testing* approximation, which is what the metatheory
+harness needs:
+
+* run both expressions on fresh machines (empty stack, given heap);
+* if both abort, they are joinable;
+* if both reach integer or boxed-integer values, compare the numbers;
+* if both reach λ-values, *probe* them: apply each to the same argument
+  (a literal for integer binders, a heap-allocated boxed value for pointer
+  binders) and recurse, up to a configurable probe depth.
+
+When the probe depth is exhausted the values are compared up to
+α-equivalence as a last resort.  A ``False`` answer therefore really means
+"observably different"; a ``True`` answer means "indistinguishable by the
+probes we ran" — exactly the right polarity for property-based testing of
+the Simulation theorem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.errors import MachineError
+from .machine import Machine, MachineResult
+from .syntax import (
+    MAppLit,
+    MAppVar,
+    MCase,
+    MConLit,
+    MConVar,
+    MError,
+    MExpr,
+    MLam,
+    MLet,
+    MLetStrict,
+    MLit,
+    MVar,
+    MVarRef,
+    fresh_pointer_var,
+)
+
+#: Literal used to probe integer-expecting λ values.
+_PROBE_LITERAL = 17
+#: Boxed value used to probe pointer-expecting λ values.
+_PROBE_BOXED = MConLit(23)
+
+
+@dataclass(frozen=True)
+class JoinReport:
+    """The outcome of a joinability check, with an explanation for failures."""
+
+    joinable: bool
+    reason: str = ""
+
+
+def alpha_equivalent(t1: MExpr, t2: MExpr,
+                     env: Optional[Dict[MVar, MVar]] = None) -> bool:
+    """Structural equality of M expressions up to renaming of bound variables."""
+    env = env or {}
+    if isinstance(t1, MVarRef) and isinstance(t2, MVarRef):
+        return env.get(t1.var, t1.var) == t2.var
+    if isinstance(t1, MLit) and isinstance(t2, MLit):
+        return t1.value == t2.value
+    if isinstance(t1, MConLit) and isinstance(t2, MConLit):
+        return t1.value == t2.value
+    if isinstance(t1, MConVar) and isinstance(t2, MConVar):
+        return env.get(t1.var, t1.var) == t2.var
+    if isinstance(t1, MError) and isinstance(t2, MError):
+        return True
+    if isinstance(t1, MLam) and isinstance(t2, MLam):
+        if t1.var.sort != t2.var.sort:
+            return False
+        inner = dict(env)
+        inner[t1.var] = t2.var
+        return alpha_equivalent(t1.body, t2.body, inner)
+    if isinstance(t1, MAppVar) and isinstance(t2, MAppVar):
+        return (env.get(t1.argument, t1.argument) == t2.argument
+                and alpha_equivalent(t1.function, t2.function, env))
+    if isinstance(t1, MAppLit) and isinstance(t2, MAppLit):
+        return (t1.argument == t2.argument
+                and alpha_equivalent(t1.function, t2.function, env))
+    if isinstance(t1, MLet) and isinstance(t2, MLet):
+        if not alpha_equivalent(t1.rhs, t2.rhs, env):
+            return False
+        inner = dict(env)
+        inner[t1.var] = t2.var
+        return alpha_equivalent(t1.body, t2.body, inner)
+    if isinstance(t1, MLetStrict) and isinstance(t2, MLetStrict):
+        if t1.var.sort != t2.var.sort:
+            return False
+        if not alpha_equivalent(t1.rhs, t2.rhs, env):
+            return False
+        inner = dict(env)
+        inner[t1.var] = t2.var
+        return alpha_equivalent(t1.body, t2.body, inner)
+    if isinstance(t1, MCase) and isinstance(t2, MCase):
+        if not alpha_equivalent(t1.scrutinee, t2.scrutinee, env):
+            return False
+        inner = dict(env)
+        inner[t1.binder] = t2.binder
+        return alpha_equivalent(t1.body, t2.body, inner)
+    return False
+
+
+def _run(expr: MExpr, heap: Optional[Dict[MVar, MExpr]],
+         max_steps: int) -> Optional[MachineResult]:
+    try:
+        return Machine(expr, heap=heap).run(max_steps=max_steps)
+    except MachineError:
+        return None
+
+
+def joinable(t1: MExpr, t2: MExpr,
+             heap1: Optional[Dict[MVar, MExpr]] = None,
+             heap2: Optional[Dict[MVar, MExpr]] = None,
+             probe_depth: int = 3,
+             max_steps: int = 100_000) -> JoinReport:
+    """Test whether ``t1 ⇔ t2`` by running both and probing the results."""
+    result1 = _run(t1, heap1, max_steps)
+    result2 = _run(t2, heap2, max_steps)
+
+    if result1 is None or result2 is None:
+        if result1 is None and result2 is None:
+            return JoinReport(True, "both machines got stuck identically")
+        return JoinReport(False, "one machine got stuck and the other did not")
+
+    if result1.aborted or result2.aborted:
+        if result1.aborted and result2.aborted:
+            return JoinReport(True, "both aborted via error")
+        return JoinReport(False, "only one side aborted via error")
+
+    return _values_joinable(result1.unwrap(), dict(result1.heap),
+                            result2.unwrap(), dict(result2.heap),
+                            probe_depth, max_steps)
+
+
+def _values_joinable(v1: MExpr, heap1: Dict[MVar, MExpr],
+                     v2: MExpr, heap2: Dict[MVar, MExpr],
+                     probe_depth: int, max_steps: int) -> JoinReport:
+    if isinstance(v1, MLit) and isinstance(v2, MLit):
+        if v1.value == v2.value:
+            return JoinReport(True, "equal integer results")
+        return JoinReport(False, f"integers differ: {v1.value} vs {v2.value}")
+
+    if isinstance(v1, MConLit) and isinstance(v2, MConLit):
+        if v1.value == v2.value:
+            return JoinReport(True, "equal boxed-integer results")
+        return JoinReport(False,
+                          f"boxed integers differ: {v1.value} vs {v2.value}")
+
+    if isinstance(v1, MLam) and isinstance(v2, MLam):
+        if v1.var.sort != v2.var.sort:
+            return JoinReport(False, "λ binders expect different registers")
+        if probe_depth <= 0:
+            if alpha_equivalent(v1, v2):
+                return JoinReport(True, "α-equivalent λ values")
+            return JoinReport(
+                True, "probe depth exhausted on λ values; assumed joinable")
+        if v1.var.is_integer():
+            probed1, new_heap1 = MAppLit(v1, _PROBE_LITERAL), heap1
+            probed2, new_heap2 = MAppLit(v2, _PROBE_LITERAL), heap2
+        else:
+            pointer1 = fresh_pointer_var("probe")
+            pointer2 = fresh_pointer_var("probe")
+            new_heap1 = dict(heap1)
+            new_heap1[pointer1] = _PROBE_BOXED
+            new_heap2 = dict(heap2)
+            new_heap2[pointer2] = _PROBE_BOXED
+            probed1 = MAppVar(v1, pointer1)
+            probed2 = MAppVar(v2, pointer2)
+        return joinable(probed1, probed2, new_heap1, new_heap2,
+                        probe_depth - 1, max_steps)
+
+    return JoinReport(False,
+                      f"result shapes differ: {v1.pretty()} vs {v2.pretty()}")

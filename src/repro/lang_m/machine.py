@@ -1,0 +1,340 @@
+"""The M abstract machine: states ⟨t; S; H⟩ and transitions (Figure 6).
+
+A machine state is a triple of the expression under evaluation, a stack of
+continuation frames, and a heap mapping pointer variables to (possibly
+unevaluated) expressions.  The transition rules split into two groups:
+
+* when the expression is **not** a value, the rule is chosen by the shape of
+  the expression (PAPP, IAPP, VAL, EVAL, LET, SLET, CASE, ERR);
+* when the expression **is** a value, the rule is chosen by the top stack
+  frame (PPOP, IPOP, FCE, ILET, IMAT).
+
+Rule EVAL pops the heap binding while the thunk is being forced and rule FCE
+writes the computed value back — this is exactly GHC's thunk update
+("blackholing" plus update frames), and is what makes lazy evaluation share
+work.  The machine optionally counts work (allocations, thunk forces, stack
+pushes) so the cost-model experiments can compare boxed and unboxed code on
+the very semantics the paper formalises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.errors import MachineError
+from .syntax import (
+    MAppLit,
+    MAppVar,
+    MCase,
+    MConLit,
+    MConVar,
+    MError,
+    MExpr,
+    MLam,
+    MLet,
+    MLetStrict,
+    MLit,
+    MVar,
+    MVarRef,
+)
+
+# ---------------------------------------------------------------------------
+# Stack frames S ::= ∅ | Force(p),S | App(p),S | App(n),S | Let(y,t),S | Case(y,t),S
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Frame:
+    """Abstract base class of stack frames."""
+
+
+@dataclass(frozen=True)
+class ForceFrame(Frame):
+    """``Force(p)`` — update pointer ``p`` with the value being computed."""
+
+    pointer: MVar
+
+
+@dataclass(frozen=True)
+class AppVarFrame(Frame):
+    """``App(p)`` — a pending application to the pointer variable ``p``."""
+
+    pointer: MVar
+
+
+@dataclass(frozen=True)
+class AppLitFrame(Frame):
+    """``App(n)`` — a pending application to the integer literal ``n``."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class LetFrame(Frame):
+    """``Let(y, t)`` — continue with ``t`` once the strict RHS is a value."""
+
+    var: MVar
+    body: MExpr
+
+
+@dataclass(frozen=True)
+class CaseFrame(Frame):
+    """``Case(y, t)`` — continue with ``t`` once the scrutinee is ``I#[n]``."""
+
+    var: MVar
+    body: MExpr
+
+
+Stack = Tuple[Frame, ...]
+Heap = Dict[MVar, MExpr]
+
+
+# ---------------------------------------------------------------------------
+# Machine states and outcomes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MachineCosts:
+    """Operation counters recorded while the machine runs.
+
+    These counters are the basis of the E1/E4 benchmarks: a boxed program
+    performs many heap allocations and thunk forces where the unboxed
+    version performs none.
+    """
+
+    steps: int = 0
+    heap_allocations: int = 0
+    thunk_forces: int = 0
+    thunk_updates: int = 0
+    heap_lookups: int = 0
+    stack_pushes: int = 0
+    stack_pops: int = 0
+    substitutions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "steps": self.steps,
+            "heap_allocations": self.heap_allocations,
+            "thunk_forces": self.thunk_forces,
+            "thunk_updates": self.thunk_updates,
+            "heap_lookups": self.heap_lookups,
+            "stack_pushes": self.stack_pushes,
+            "stack_pops": self.stack_pops,
+            "substitutions": self.substitutions,
+        }
+
+
+@dataclass(frozen=True)
+class MachineState:
+    """A machine state µ = ⟨t; S; H⟩."""
+
+    expr: MExpr
+    stack: Stack = ()
+    heap: Tuple[Tuple[MVar, MExpr], ...] = ()
+
+    def heap_dict(self) -> Heap:
+        return dict(self.heap)
+
+    def pretty(self) -> str:
+        stack = ", ".join(type(f).__name__ for f in self.stack) or "∅"
+        heap = ", ".join(f"{v.name}↦{e.pretty()}" for v, e in self.heap) or "∅"
+        return f"⟨{self.expr.pretty()} ; {stack} ; {heap}⟩"
+
+    def __repr__(self) -> str:
+        return self.pretty()
+
+
+@dataclass(frozen=True)
+class MachineResult:
+    """Outcome of running the machine to completion."""
+
+    value: Optional[MExpr]          # final value w, or None if the machine aborted
+    aborted: bool                   # True when ERR fired (the ⊥ outcome)
+    heap: Tuple[Tuple[MVar, MExpr], ...]
+    costs: MachineCosts
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.aborted
+
+    def unwrap(self) -> MExpr:
+        if self.value is None:
+            raise MachineError("the machine aborted via error")
+        return self.value
+
+
+class Machine:
+    """A mutable M machine implementing the Figure 6 transition rules."""
+
+    def __init__(self, expr: MExpr,
+                 heap: Optional[Dict[MVar, MExpr]] = None,
+                 stack: Optional[List[Frame]] = None) -> None:
+        self.expr: MExpr = expr
+        self.stack: List[Frame] = list(stack or [])
+        self.heap: Dict[MVar, MExpr] = dict(heap or {})
+        self.costs = MachineCosts()
+        self.aborted = False
+
+    # -- state inspection ----------------------------------------------------
+
+    def state(self) -> MachineState:
+        return MachineState(self.expr, tuple(self.stack),
+                            tuple(self.heap.items()))
+
+    def is_final(self) -> bool:
+        """Final states: aborted, or a value with an empty stack."""
+        return self.aborted or (self.expr.is_value() and not self.stack)
+
+    # -- the transition function ----------------------------------------------
+
+    def step(self) -> bool:
+        """Perform one transition.  Returns False when already final.
+
+        Raises :class:`MachineError` when no rule applies (a stuck machine),
+        which for compiled well-typed programs never happens.
+        """
+        if self.is_final():
+            return False
+        self.costs.steps += 1
+        expr = self.expr
+
+        if not expr.is_value():
+            self._step_expression(expr)
+        else:
+            self._step_value(expr)
+        return True
+
+    def _step_expression(self, expr: MExpr) -> None:
+        if isinstance(expr, MAppVar):  # PAPP
+            self.stack.insert(0, AppVarFrame(expr.argument))
+            self.costs.stack_pushes += 1
+            self.expr = expr.function
+            return
+        if isinstance(expr, MAppLit):  # IAPP
+            self.stack.insert(0, AppLitFrame(expr.argument))
+            self.costs.stack_pushes += 1
+            self.expr = expr.function
+            return
+        if isinstance(expr, MVarRef):
+            binding = self.heap.get(expr.var)
+            if binding is None:
+                raise MachineError(
+                    f"pointer variable {expr.var.name!r} is not in the heap")
+            self.costs.heap_lookups += 1
+            if binding.is_value():  # VAL
+                self.expr = binding
+                return
+            # EVAL: blackhole the binding and push an update frame.
+            del self.heap[expr.var]
+            self.stack.insert(0, ForceFrame(expr.var))
+            self.costs.stack_pushes += 1
+            self.costs.thunk_forces += 1
+            self.expr = binding
+            return
+        if isinstance(expr, MLet):  # LET
+            self.heap[expr.var] = expr.rhs
+            self.costs.heap_allocations += 1
+            self.expr = expr.body
+            return
+        if isinstance(expr, MLetStrict):  # SLET
+            self.stack.insert(0, LetFrame(expr.var, expr.body))
+            self.costs.stack_pushes += 1
+            self.expr = expr.rhs
+            return
+        if isinstance(expr, MCase):  # CASE
+            self.stack.insert(0, CaseFrame(expr.binder, expr.body))
+            self.costs.stack_pushes += 1
+            self.expr = expr.scrutinee
+            return
+        if isinstance(expr, MError):  # ERR
+            self.aborted = True
+            return
+        if isinstance(expr, MConVar):
+            # I#[i] with i unsubstituted can only mean a free variable; the
+            # compiler never produces it for closed programs.
+            raise MachineError(
+                f"I#[{expr.var.name}] has an unbound field variable")
+        raise MachineError(f"no rule applies to expression {expr.pretty()}")
+
+    def _step_value(self, value: MExpr) -> None:
+        if not self.stack:
+            raise MachineError("value with empty stack should be final")
+        frame = self.stack.pop(0)
+        self.costs.stack_pops += 1
+
+        if isinstance(frame, AppVarFrame):  # PPOP
+            if not isinstance(value, MLam):
+                raise MachineError(
+                    f"applied a non-function value {value.pretty()}")
+            if not value.var.is_pointer():
+                raise MachineError(
+                    f"pointer argument {frame.pointer.name} passed to a "
+                    f"lambda expecting an integer register")
+            self.costs.substitutions += 1
+            self.expr = value.body.substitute_var(value.var, frame.pointer)
+            return
+        if isinstance(frame, AppLitFrame):  # IPOP
+            if not isinstance(value, MLam):
+                raise MachineError(
+                    f"applied a non-function value {value.pretty()}")
+            if not value.var.is_integer():
+                raise MachineError(
+                    f"integer literal {frame.value} passed to a lambda "
+                    "expecting a pointer register")
+            self.costs.substitutions += 1
+            self.expr = value.body.substitute_literal(value.var, frame.value)
+            return
+        if isinstance(frame, ForceFrame):  # FCE
+            self.heap[frame.pointer] = value
+            self.costs.thunk_updates += 1
+            self.expr = value
+            return
+        if isinstance(frame, LetFrame):  # ILET
+            if isinstance(value, MLit) and frame.var.is_integer():
+                self.costs.substitutions += 1
+                self.expr = frame.body.substitute_literal(frame.var,
+                                                          value.value)
+                return
+            raise MachineError(
+                f"strict let expected an integer value for "
+                f"{frame.var.name!r}, got {value.pretty()}")
+        if isinstance(frame, CaseFrame):  # IMAT
+            if isinstance(value, MConLit):
+                self.costs.substitutions += 1
+                self.expr = frame.body.substitute_literal(frame.var,
+                                                          value.value)
+                return
+            raise MachineError(
+                f"case expected I#[n], got {value.pretty()}")
+        raise MachineError(f"unknown stack frame {frame!r}")
+
+    # -- drivers ---------------------------------------------------------------
+
+    def run(self, max_steps: int = 1_000_000) -> MachineResult:
+        """Run until a final state (or raise after ``max_steps`` steps)."""
+        for _ in range(max_steps):
+            if not self.step():
+                break
+        else:
+            raise MachineError(
+                f"machine did not halt within {max_steps} steps")
+        value = None if self.aborted else self.expr
+        return MachineResult(value, self.aborted, tuple(self.heap.items()),
+                             self.costs)
+
+    def trace(self, max_steps: int = 10_000) -> List[MachineState]:
+        """Run and collect every intermediate state (for debugging/tests)."""
+        states = [self.state()]
+        for _ in range(max_steps):
+            if not self.step():
+                break
+            states.append(self.state())
+        return states
+
+
+def run(expr: MExpr, max_steps: int = 1_000_000,
+        heap: Optional[Dict[MVar, MExpr]] = None) -> MachineResult:
+    """Run ``expr`` on a fresh machine with an empty stack."""
+    return Machine(expr, heap=heap).run(max_steps=max_steps)

@@ -1,0 +1,21 @@
+"""Executable metatheory for L, M and the compilation between them (Section 6)."""
+
+from .generators import (
+    GeneratorConfig,
+    generate_corpus,
+    generate_expr,
+    generate_program,
+    random_ground_type,
+    random_type,
+)
+from .theorems import (
+    TheoremReport,
+    TraceReport,
+    check_all,
+    check_compilation,
+    check_preservation,
+    check_progress,
+    check_simulation,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

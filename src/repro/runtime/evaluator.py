@@ -1,0 +1,631 @@
+"""A cost-model evaluator for surface programs ("kinds are calling conventions").
+
+The evaluator executes type-checked surface modules.  Its calling convention
+is driven by the *types* the inference engine assigned (exactly the paper's
+thesis): when a function parameter's type has a boxed, lifted kind the
+argument is passed as a heap pointer to a lazily allocated thunk; when the
+kind is unboxed (or boxed-but-unlifted) the argument is evaluated eagerly and
+passed as a raw value — no allocation, no pointer.
+
+Class methods are supported in two forms:
+
+* applied at a concrete type, the evaluator consults the
+  :class:`~repro.classes.declarations.ClassEnv` instance table and runs the
+  (monomorphic) implementation — this is the elaborated, dictionary-free
+  fast path GHC reaches after specialisation;
+* a dictionary can also be built explicitly
+  (:meth:`Evaluator.build_dictionary`) and methods selected from it, which
+  charges the cost model for the dictionary allocation and the field reads —
+  the cost the paper's Section 7.3 machinery actually pays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import EvaluationError, PatternError, ScopeError
+from ..core.kinds import TypeKind
+from ..core.rep import Rep
+from ..infer.infer import Inferencer, InferOptions, ModuleResult
+from ..infer.schemes import Scheme, TypeEnv
+from ..surface.ast import (
+    Alternative,
+    EAnn,
+    EApp,
+    EBool,
+    ECase,
+    EIf,
+    ELam,
+    ELet,
+    ELitChar,
+    ELitDoubleHash,
+    ELitInt,
+    ELitIntHash,
+    ELitString,
+    EUnboxedTuple,
+    EVar,
+    Expr,
+    FunBind,
+    Module,
+)
+from ..surface.types import FunTy, SType, kind_of_type
+from .values import (
+    Closure,
+    ConstructorCell,
+    CostModel,
+    DictionaryCell,
+    Heap,
+    HeapObject,
+    HeapRef,
+    MethodSelector,
+    PrimOpValue,
+    StringValue,
+    Thunk,
+    UnboxedDouble,
+    UnboxedInt,
+    UnboxedTupleValue,
+    Value,
+)
+
+# ---------------------------------------------------------------------------
+# Primitive operations
+# ---------------------------------------------------------------------------
+
+
+def _int_binop(op: Callable[[int, int], int]) -> Callable[..., Value]:
+    def run(x: Value, y: Value) -> Value:
+        return UnboxedInt(op(_as_int(x), _as_int(y)))
+    return run
+
+
+def _int_cmp(op: Callable[[int, int], bool]) -> Callable[..., Value]:
+    def run(x: Value, y: Value) -> Value:
+        return UnboxedInt(1 if op(_as_int(x), _as_int(y)) else 0)
+    return run
+
+
+def _double_binop(op: Callable[[float, float], float]) -> Callable[..., Value]:
+    def run(x: Value, y: Value) -> Value:
+        return UnboxedDouble(op(_as_double(x), _as_double(y)))
+    return run
+
+
+def _double_cmp(op: Callable[[float, float], bool]) -> Callable[..., Value]:
+    def run(x: Value, y: Value) -> Value:
+        return UnboxedInt(1 if op(_as_double(x), _as_double(y)) else 0)
+    return run
+
+
+def _as_int(value: Value) -> int:
+    if isinstance(value, UnboxedInt):
+        return value.value
+    raise EvaluationError(f"expected an unboxed integer, got {value!r}")
+
+
+def _as_double(value: Value) -> float:
+    if isinstance(value, UnboxedDouble):
+        return value.value
+    if isinstance(value, UnboxedInt):
+        return float(value.value)
+    raise EvaluationError(f"expected an unboxed double, got {value!r}")
+
+
+#: name -> (arity, implementation on raw values)
+PRIMOP_TABLE: Dict[str, Tuple[int, Callable[..., Value]]] = {
+    "+#": (2, _int_binop(lambda a, b: a + b)),
+    "-#": (2, _int_binop(lambda a, b: a - b)),
+    "*#": (2, _int_binop(lambda a, b: a * b)),
+    "quotInt#": (2, _int_binop(lambda a, b: int(a / b) if b else 0)),
+    "remInt#": (2, _int_binop(lambda a, b: int(math.fmod(a, b)) if b else 0)),
+    "negateInt#": (1, lambda x: UnboxedInt(-_as_int(x))),
+    "<#": (2, _int_cmp(lambda a, b: a < b)),
+    ">#": (2, _int_cmp(lambda a, b: a > b)),
+    "<=#": (2, _int_cmp(lambda a, b: a <= b)),
+    ">=#": (2, _int_cmp(lambda a, b: a >= b)),
+    "==#": (2, _int_cmp(lambda a, b: a == b)),
+    "/=#": (2, _int_cmp(lambda a, b: a != b)),
+    "+##": (2, _double_binop(lambda a, b: a + b)),
+    "-##": (2, _double_binop(lambda a, b: a - b)),
+    "*##": (2, _double_binop(lambda a, b: a * b)),
+    "/##": (2, _double_binop(lambda a, b: a / b)),
+    "negateDouble#": (1, lambda x: UnboxedDouble(-_as_double(x))),
+    "<##": (2, _double_cmp(lambda a, b: a < b)),
+    "==##": (2, _double_cmp(lambda a, b: a == b)),
+    "plusFloat#": (2, _double_binop(lambda a, b: a + b)),
+    "timesFloat#": (2, _double_binop(lambda a, b: a * b)),
+    "eqChar#": (2, _int_cmp(lambda a, b: a == b)),
+    "ord#": (1, lambda x: UnboxedInt(_as_int(x))),
+    "chr#": (1, lambda x: UnboxedInt(_as_int(x))),
+    "int2Double#": (1, lambda x: UnboxedDouble(float(_as_int(x)))),
+    "double2Int#": (1, lambda x: UnboxedInt(int(_as_double(x)))),
+    "int2Word#": (1, lambda x: UnboxedInt(_as_int(x))),
+    "word2Int#": (1, lambda x: UnboxedInt(_as_int(x))),
+}
+
+#: Data constructors known to the evaluator, with their arities.
+CONSTRUCTOR_ARITIES: Dict[str, int] = {
+    "I#": 1, "W#": 1, "F#": 1, "D#": 1, "C#": 1,
+    "True": 0, "False": 0, "Nothing": 0, "Just": 1, "()": 0,
+}
+
+
+# ---------------------------------------------------------------------------
+# Programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProgramFunction:
+    """A top-level binding prepared for execution."""
+
+    name: str
+    params: Tuple[str, ...]
+    param_strict: Tuple[bool, ...]
+    body: Expr
+    scheme: Optional[Scheme] = None
+
+
+@dataclass
+class Program:
+    """An executable program: its functions plus the class environment."""
+
+    functions: Dict[str, ProgramFunction] = field(default_factory=dict)
+    class_env: object = None
+    module_result: Optional[ModuleResult] = None
+
+    @staticmethod
+    def from_module(module: Module, env: Optional[TypeEnv] = None,
+                    class_env=None,
+                    options: Optional[InferOptions] = None) -> "Program":
+        """Type-check a module and prepare it for execution.
+
+        The parameter passing convention of every function is read off the
+        inferred/declared types: this is where "kinds are calling
+        conventions" becomes executable.
+        """
+        from ..surface.prelude import prelude_env
+
+        inferencer = Inferencer(options, class_env)
+        base_env = env or prelude_env()
+        if class_env is not None:
+            base_env = base_env.bind_many(class_env.all_method_schemes())
+        result = inferencer.infer_module(module, base_env)
+
+        program = Program(class_env=class_env, module_result=result)
+        for name, bind in module.bindings().items():
+            scheme = result.schemes.get(name)
+            strictness = _param_strictness(scheme, len(bind.params))
+            program.functions[name] = ProgramFunction(
+                name, bind.params, strictness, bind.rhs, scheme)
+        return program
+
+    def add_function(self, bind: FunBind,
+                     param_strict: Optional[Sequence[bool]] = None) -> None:
+        strictness = tuple(param_strict) if param_strict is not None else \
+            tuple(False for _ in bind.params)
+        self.functions[bind.name] = ProgramFunction(
+            bind.name, bind.params, strictness, bind.rhs, None)
+
+
+def _param_strictness(scheme: Optional[Scheme], arity: int) -> Tuple[bool, ...]:
+    """Call-by-value for parameters whose kind is not boxed-and-lifted."""
+    if scheme is None:
+        return tuple(False for _ in range(arity))
+    strictness: List[bool] = []
+    current: SType = scheme.body
+    from ..surface.types import QualTy
+    if isinstance(current, QualTy):
+        current = current.body
+    for _ in range(arity):
+        if not isinstance(current, FunTy):
+            strictness.append(False)
+            continue
+        strictness.append(_is_strict_type(current.argument))
+        current = current.result
+    return tuple(strictness)
+
+
+def _is_strict_type(type_: SType) -> bool:
+    try:
+        kind = kind_of_type(type_)
+    except Exception:
+        return False
+    if not isinstance(kind, TypeKind):
+        return False
+    rep = kind.rep
+    if not rep.is_concrete():
+        return False
+    return not (rep.is_boxed() and rep.is_lifted())
+
+
+# ---------------------------------------------------------------------------
+# The evaluator
+# ---------------------------------------------------------------------------
+
+
+class Evaluator:
+    """Execute surface expressions with the cost model attached."""
+
+    def __init__(self, program: Optional[Program] = None,
+                 costs: Optional[CostModel] = None) -> None:
+        self.program = program or Program()
+        self.costs = costs if costs is not None else CostModel()
+        self.heap = Heap(self.costs)
+        #: Compile-time-known values (top-level closures, primop entry
+        #: points, nullary constructors, helper definitions).  These live in
+        #: the static segment and are never charged to the cost model.
+        self._static_cache: Dict[str, Value] = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, name: str, *arguments: Value) -> Value:
+        """Run a top-level function on already-constructed runtime values."""
+        function = self._function(name)
+        value = self._closure_value(function)
+        for argument in arguments:
+            value = self.apply_value(value, argument, already_value=True)
+        return value
+
+    def eval(self, expr: Expr, env: Optional[Dict[str, Value]] = None) -> Value:
+        """Evaluate an expression to (weak-head) normal form."""
+        return self._eval(expr, env or {})
+
+    def force(self, value: Value) -> Value:
+        """Force thunks until a non-thunk heap object or unboxed value remains."""
+        while isinstance(value, HeapRef):
+            obj = self.heap.load(value)
+            if isinstance(obj, Thunk):
+                if obj.result is None:
+                    if obj.under_evaluation:
+                        raise EvaluationError("<<loop>> detected while "
+                                              "forcing a thunk")
+                    obj.under_evaluation = True
+                    self.costs.thunk_forces += 1
+                    obj.result = obj.compute()
+                    obj.under_evaluation = False
+                    self.costs.thunk_updates += 1
+                value = obj.result
+                continue
+            return value
+        return value
+
+    def int_result(self, value: Value) -> int:
+        """Interpret a result as a Python integer (forcing and unboxing)."""
+        value = self.force(value)
+        if isinstance(value, UnboxedInt):
+            return value.value
+        if isinstance(value, HeapRef):
+            obj = self.heap.load(value)
+            if isinstance(obj, ConstructorCell) and obj.constructor == "I#":
+                return self.int_result(obj.fields[0])
+        raise EvaluationError(f"result is not an integer: {value!r}")
+
+    def bool_result(self, value: Value) -> bool:
+        value = self.force(value)
+        if isinstance(value, HeapRef):
+            obj = self.heap.load(value)
+            if isinstance(obj, ConstructorCell):
+                return obj.constructor == "True"
+        raise EvaluationError(f"result is not a Bool: {value!r}")
+
+    def boxed_int(self, value: int) -> Value:
+        """Allocate a boxed integer ``I# value``."""
+        return self.heap.allocate(ConstructorCell("I#", (UnboxedInt(value),)))
+
+    def build_dictionary(self, class_name: str, type_: SType) -> Value:
+        """Explicitly allocate the dictionary for an instance (Section 7.3)."""
+        class_env = self.program.class_env
+        if class_env is None:
+            raise EvaluationError("no class environment attached")
+        info = class_env.class_info(class_name)
+        instance = class_env.lookup_instance(class_name, type_)
+        if instance is None:
+            raise EvaluationError(
+                f"no instance for {class_name} {type_.pretty()}")
+        methods = {name: self._eval(impl, {})
+                   for name, impl in instance.methods().items()}
+        cell = DictionaryCell(class_name, instance.head_constructor(), methods)
+        return self.heap.allocate(cell)
+
+    def select_method(self, dictionary: Value, method: str) -> Value:
+        """Select a method from a dictionary value (one field read)."""
+        dictionary = self.force(dictionary)
+        obj = self.heap.load(dictionary)
+        if not isinstance(obj, DictionaryCell):
+            raise EvaluationError("select_method expects a dictionary")
+        self.costs.dictionary_lookups += 1
+        return obj.methods[method]
+
+    # -- internals --------------------------------------------------------------
+
+    def _function(self, name: str) -> ProgramFunction:
+        try:
+            return self.program.functions[name]
+        except KeyError:
+            raise ScopeError(f"no top-level function named {name!r}") from None
+
+    def _closure_value(self, function: ProgramFunction) -> Value:
+        cached = self._static_cache.get(f"fun:{function.name}")
+        if cached is not None:
+            return cached
+        closure = Closure(function.name, function.params,
+                          function.param_strict, function.body, {})
+        ref = self.heap.allocate(closure, static=True)
+        self._static_cache[f"fun:{function.name}"] = ref
+        return ref
+
+    def _eval(self, expr: Expr, env: Dict[str, Value]) -> Value:
+        if isinstance(expr, EVar):
+            return self._eval_var(expr.name, env)
+        if isinstance(expr, ELitInt):
+            return self.boxed_int(expr.value)
+        if isinstance(expr, ELitIntHash):
+            return UnboxedInt(expr.value)
+        if isinstance(expr, ELitDoubleHash):
+            return UnboxedDouble(expr.value)
+        if isinstance(expr, ELitChar):
+            return self.heap.allocate(
+                ConstructorCell("C#", (UnboxedInt(ord(expr.value)),)))
+        if isinstance(expr, ELitString):
+            return StringValue(expr.value)
+        if isinstance(expr, EBool):
+            return self.heap.allocate(
+                ConstructorCell("True" if expr.value else "False", ()))
+        if isinstance(expr, EAnn):
+            return self._eval(expr.expr, env)
+        if isinstance(expr, ELam):
+            closure = Closure("", (expr.var,), (False,), expr.body, dict(env))
+            return self.heap.allocate(closure)
+        if isinstance(expr, ELet):
+            rhs_thunk = self.heap.allocate(
+                Thunk(lambda: self._eval(expr.rhs, env)))
+            inner = dict(env)
+            inner[expr.var] = rhs_thunk
+            return self._eval(expr.body, inner)
+        if isinstance(expr, EIf):
+            condition = self.bool_result(self._eval(expr.condition, env))
+            self.costs.case_scrutinies += 1
+            branch = expr.consequent if condition else expr.alternative
+            return self._eval(branch, env)
+        if isinstance(expr, EUnboxedTuple):
+            return UnboxedTupleValue(tuple(
+                self.force(self._eval(component, env))
+                for component in expr.components))
+        if isinstance(expr, EApp):
+            function = self._eval(expr.function, env)
+            return self._apply(function, expr.argument, env)
+        if isinstance(expr, ECase):
+            return self._eval_case(expr, env)
+        raise EvaluationError(f"cannot evaluate {expr!r}")
+
+    def _eval_var(self, name: str, env: Dict[str, Value]) -> Value:
+        if name in env:
+            return env[name]
+        if name in self.program.functions:
+            return self._closure_value(self._function(name))
+        cached = self._static_cache.get(name)
+        if cached is not None:
+            return cached
+        if name in PRIMOP_TABLE:
+            arity, implementation = PRIMOP_TABLE[name]
+            value = self.heap.allocate(
+                PrimOpValue(name, arity, implementation), static=True)
+        elif name in CONSTRUCTOR_ARITIES:
+            arity = CONSTRUCTOR_ARITIES[name]
+            if arity == 0:
+                value = self.heap.allocate(ConstructorCell(name, ()),
+                                           static=True)
+            else:
+                value = self.heap.allocate(
+                    PrimOpValue(name, arity, self._constructor_builder(name)),
+                    static=True)
+        elif name in _BOXED_HELPERS:
+            # Boxed helpers (plusInt & co.) are top-level code: their outer
+            # closure is static, exactly like a compiled definition.
+            value = self._eval(_BOXED_HELPERS[name], {})
+        else:
+            value = None
+            class_env = self.program.class_env
+            if class_env is not None:
+                for info in class_env.classes.values():
+                    if name in info.method_names():
+                        value = self.heap.allocate(
+                            MethodSelector(info.name, name), static=True)
+                        break
+            if value is None:
+                raise ScopeError(
+                    f"variable {name!r} is not bound at runtime")
+        self._static_cache[name] = value
+        return value
+
+    def _constructor_builder(self, name: str) -> Callable[..., Value]:
+        def build(*fields: Value) -> Value:
+            return self.heap.allocate(ConstructorCell(name, tuple(fields)))
+        return build
+
+    # -- application -------------------------------------------------------------
+
+    def _apply(self, function: Value, argument_expr: Expr,
+               env: Dict[str, Value]) -> Value:
+        """Apply to an argument *expression* (laziness decided by the callee)."""
+        function = self.force(function)
+        obj = self.heap.load(function) if isinstance(function, HeapRef) else None
+
+        strict = True
+        if isinstance(obj, Closure):
+            index = len(obj.collected)
+            strict = (obj.param_strict[index]
+                      if index < len(obj.param_strict) else False)
+        elif isinstance(obj, PrimOpValue):
+            strict = True
+        elif isinstance(obj, MethodSelector):
+            strict = True
+
+        if strict:
+            argument: Value = self.force(self._eval(argument_expr, env))
+        elif isinstance(argument_expr, EVar) and argument_expr.name in env:
+            # A variable occurrence is already a pointer (or raw value);
+            # a compiler passes it directly rather than building a new thunk.
+            argument = env[argument_expr.name]
+        elif isinstance(argument_expr, (ELitInt, ELitIntHash, ELitDoubleHash,
+                                        ELitChar, ELitString, EBool)):
+            # Literals are built directly (boxed literals still allocate
+            # their constructor cell, but no thunk is needed).
+            argument = self._eval(argument_expr, env)
+        else:
+            captured_env = dict(env)
+            argument = self.heap.allocate(
+                Thunk(lambda: self._eval(argument_expr, captured_env)))
+        return self.apply_value(function, argument, already_value=True)
+
+    def apply_value(self, function: Value, argument: Value,
+                    already_value: bool = False) -> Value:
+        """Apply a function value to an argument value."""
+        function = self.force(function)
+        if not isinstance(function, HeapRef):
+            raise EvaluationError(
+                f"cannot apply non-function value {function!r}")
+        obj = self.heap.load(function)
+        self.costs.function_calls += 1
+
+        if isinstance(obj, PrimOpValue):
+            collected = obj.collected + (self.force(argument),)
+            if len(collected) < obj.arity:
+                return self.heap.allocate(
+                    PrimOpValue(obj.name, obj.arity, obj.apply, collected),
+                    static=True)
+            self.costs.primops += 1
+            return obj.apply(*collected)
+
+        if isinstance(obj, Closure):
+            collected = obj.collected + (argument,)
+            if len(collected) < len(obj.params):
+                return self.heap.allocate(
+                    Closure(obj.name, obj.params, obj.param_strict, obj.body,
+                            obj.env, collected),
+                    static=True)
+            call_env = dict(obj.env)
+            for param, value, strict in zip(obj.params, collected,
+                                            obj.param_strict):
+                call_env[param] = self.force(value) if strict else value
+            return self._eval(obj.body, call_env)
+
+        if isinstance(obj, MethodSelector):
+            return self._dispatch_method(obj, argument)
+
+        raise EvaluationError(
+            f"cannot apply value {obj.show_object(self.heap)}")
+
+    def _dispatch_method(self, selector: MethodSelector,
+                         argument: Value) -> Value:
+        """Dispatch a class method on its first argument's runtime type."""
+        class_env = self.program.class_env
+        if class_env is None:
+            raise EvaluationError("no class environment attached")
+        forced = self.force(argument)
+        head = _runtime_type_head(self, forced)
+        instance = class_env.instances.get((selector.class_name, head))
+        if instance is None:
+            raise EvaluationError(
+                f"no instance for {selector.class_name} {head}")
+        self.costs.dictionary_lookups += 1
+        implementation = self._eval(instance.methods()[selector.method], {})
+        return self.apply_value(implementation, forced, already_value=True)
+
+    # -- case ---------------------------------------------------------------------
+
+    def _eval_case(self, expr: ECase, env: Dict[str, Value]) -> Value:
+        scrutinee = self.force(self._eval(expr.scrutinee, env))
+        self.costs.case_scrutinies += 1
+
+        for alternative in expr.alternatives:
+            matched, bindings = self._match(alternative, scrutinee)
+            if matched:
+                inner = dict(env)
+                inner.update(bindings)
+                return self._eval(alternative.rhs, inner)
+        raise PatternError(
+            f"no alternative matched {scrutinee.show(self.heap)}")
+
+    def _match(self, alternative: Alternative,
+               scrutinee: Value) -> Tuple[bool, Dict[str, Value]]:
+        constructor = alternative.constructor
+        if constructor == "_":
+            return True, {}
+        if constructor.endswith("#") and \
+                constructor[:-1].lstrip("-").isdigit():
+            if isinstance(scrutinee, UnboxedInt) and \
+                    scrutinee.value == int(constructor[:-1]):
+                return True, {}
+            return False, {}
+        if constructor.lstrip("-").isdigit():
+            if isinstance(scrutinee, HeapRef):
+                obj = self.heap.load(scrutinee)
+                if isinstance(obj, ConstructorCell) and obj.constructor == "I#":
+                    field_value = self.force(obj.fields[0])
+                    if isinstance(field_value, UnboxedInt) and \
+                            field_value.value == int(constructor):
+                        return True, {}
+            return False, {}
+        if isinstance(scrutinee, HeapRef):
+            obj = self.heap.load(scrutinee)
+            if isinstance(obj, ConstructorCell) and \
+                    obj.constructor == constructor:
+                return True, dict(zip(alternative.binders, obj.fields))
+        if isinstance(scrutinee, UnboxedTupleValue) and constructor == "(#,#)":
+            return True, dict(zip(alternative.binders, scrutinee.components))
+        return False, {}
+
+
+def _runtime_type_head(evaluator: Evaluator, value: Value) -> str:
+    """The type-constructor name of a runtime value, for method dispatch."""
+    if isinstance(value, UnboxedInt):
+        return "Int#"
+    if isinstance(value, UnboxedDouble):
+        return "Double#"
+    if isinstance(value, HeapRef):
+        obj = evaluator.heap.load(value)
+        if isinstance(obj, ConstructorCell):
+            return {"I#": "Int", "D#": "Double", "F#": "Float", "C#": "Char",
+                    "True": "Bool", "False": "Bool", "Just": "Maybe",
+                    "Nothing": "Maybe"}.get(obj.constructor, obj.constructor)
+    raise EvaluationError(f"cannot determine the type of {value!r}")
+
+
+# Small surface-level definitions of the boxed prelude helpers, so programs
+# can call plusInt & co. without declaring them (they are defined exactly as
+# the paper defines plusInt in Section 2.1).
+def _boxed_binop(primop: str) -> Expr:
+    return ELam("x", ELam("y", ECase(
+        EVar("x"),
+        [Alternative("I#", ["i1"], ECase(
+            EVar("y"),
+            [Alternative("I#", ["i2"],
+                         EApp(EVar("I#"),
+                              EApp(EApp(EVar(primop), EVar("i1")),
+                                   EVar("i2"))))]))])))
+
+
+def _boxed_cmp(primop: str) -> Expr:
+    return ELam("x", ELam("y", ECase(
+        EVar("x"),
+        [Alternative("I#", ["i1"], ECase(
+            EVar("y"),
+            [Alternative("I#", ["i2"], ECase(
+                EApp(EApp(EVar(primop), EVar("i1")), EVar("i2")),
+                [Alternative("1#", [], EVar("True")),
+                 Alternative("_", [], EVar("False"))]))]))])))
+
+
+_BOXED_HELPERS: Dict[str, Expr] = {
+    "plusInt": _boxed_binop("+#"),
+    "minusInt": _boxed_binop("-#"),
+    "timesInt": _boxed_binop("*#"),
+    "eqInt": _boxed_cmp("==#"),
+    "ltInt": _boxed_cmp("<#"),
+    "not": ELam("b", ECase(EVar("b"),
+                           [Alternative("True", [], EVar("False")),
+                            Alternative("False", [], EVar("True"))])),
+}

@@ -1,0 +1,131 @@
+"""The old GHC sub-kinding story (Section 3.2) — the baseline comparator.
+
+Before levity polymorphism, GHC classified types with a small lattice of
+kinds::
+
+                OpenKind
+               /        \\
+            Type          #
+
+``OpenKind`` was a super-kind of both the kind of lifted types (``Type``,
+then written ``*``) and the kind of unlifted types (``#``).  The function
+arrow was given the "bizarre" kind ``OpenKind -> OpenKind -> Type`` — but
+only when fully saturated — and ``error`` got the magical type
+``forall (a :: OpenKind). String -> a``.
+
+This module reproduces that design so the benchmarks can compare it against
+levity polymorphism:
+
+* :class:`LegacyKind` and the :data:`OPEN_KIND` / :data:`STAR` / :data:`HASH`
+  constants, with the sub-kinding relation ``is_subkind_of``;
+* the known pain points, each exposed as a function so tests and the E6
+  bench can demonstrate them:
+
+  - ``#`` lumps every unlifted type together, so a type family returning
+    ``#`` cannot be compiled (:func:`hash_kind_loses_calling_convention`);
+  - the magic on ``error`` is fragile: a user-written wrapper loses it
+    (:mod:`repro.subkind.checker`);
+  - ``OpenKind`` leaks into error messages and interacts badly with
+    inference (modelled by :func:`unify_legacy_kinds` which must special-case
+    the sub-kind checks rather than using plain unification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+from ..core.errors import KindError
+from ..core.kinds import Kind, TypeKind
+from ..core.rep import Rep
+from ..surface.types import SType, kind_of_type
+
+
+class LegacyKind(Enum):
+    """The three kinds of the pre-levity-polymorphism design."""
+
+    STAR = "Type"          # lifted, boxed types (written * at the time)
+    HASH = "#"             # every unlifted type, whatever its representation
+    OPEN_KIND = "OpenKind"  # the super-kind of both
+
+    def pretty(self) -> str:
+        return self.value
+
+
+STAR = LegacyKind.STAR
+HASH = LegacyKind.HASH
+OPEN_KIND = LegacyKind.OPEN_KIND
+
+
+def is_subkind_of(sub: LegacyKind, sup: LegacyKind) -> bool:
+    """The sub-kinding relation: ``Type <: OpenKind`` and ``# <: OpenKind``."""
+    if sub == sup:
+        return True
+    return sup is OPEN_KIND
+
+
+def legacy_kind_of(type_: SType) -> LegacyKind:
+    """Project a surface type's modern kind onto the legacy lattice.
+
+    Everything boxed-and-lifted is ``Type``; everything else that classifies
+    values is ``#``.  This projection is exactly the information loss the
+    paper criticises: ``Int#`` (one integer register) and ``(# Int, Bool #)``
+    (two pointer registers) both map to ``#``.
+    """
+    kind = kind_of_type(type_)
+    if not isinstance(kind, TypeKind):
+        raise KindError(
+            f"{type_.pretty()} is a type constructor, not a value type")
+    rep = kind.rep
+    if not rep.is_concrete():
+        # The legacy system had no representation variables at all; the
+        # closest analogue of "unknown representation" was OpenKind itself.
+        return OPEN_KIND
+    if rep.is_boxed() and rep.is_lifted():
+        return STAR
+    return HASH
+
+
+def unify_legacy_kinds(expected: LegacyKind, actual: LegacyKind) -> LegacyKind:
+    """Kind "unification" in the legacy system.
+
+    Because of sub-kinding this is not symmetric unification at all but a
+    subsumption check — one of the "awkward and unprincipled special cases"
+    the paper mentions.  An expected ``OpenKind`` accepts anything; otherwise
+    the kinds must match exactly.
+    """
+    if is_subkind_of(actual, expected):
+        return actual
+    raise KindError(
+        f"kind mismatch: expected {expected.pretty()}, got {actual.pretty()} "
+        "(and no sub-kind relation applies)")
+
+
+def hash_kind_loses_calling_convention(types: Tuple[SType, ...]
+                                       ) -> Dict[str, object]:
+    """Show that ``#`` erases calling conventions while ``TYPE r`` keeps them.
+
+    Given several unlifted types, returns for each its legacy kind (always
+    ``#``), its modern kind, and its register shape.  The legacy kinds are
+    all identical even when the register shapes differ — which is precisely
+    why old GHC could not compile ``f :: F a -> a`` for a type family ``F``
+    returning unlifted types (Section 7.1).
+    """
+    report: Dict[str, object] = {}
+    shapes = set()
+    for type_ in types:
+        kind = kind_of_type(type_)
+        assert isinstance(kind, TypeKind)
+        shape = kind.rep.register_shape()
+        shapes.add(shape)
+        report[type_.pretty()] = {
+            "legacy_kind": legacy_kind_of(type_).pretty(),
+            "modern_kind": kind.pretty(),
+            "register_shape": tuple(r.value for r in shape),
+        }
+    report["legacy_kinds_all_equal"] = all(
+        entry["legacy_kind"] == "#" for key, entry in report.items()
+        if isinstance(entry, dict))
+    report["calling_conventions_distinct"] = len(shapes) > 1
+    return report

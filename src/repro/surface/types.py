@@ -1,0 +1,595 @@
+"""Surface-language types with ``TYPE r`` kinds (the Section 4 design).
+
+This is the "GHC-flavoured" layer of the reproduction: unlike the small
+formal calculus L (which has exactly two base types and two concrete
+representations), the surface language has
+
+* a table of built-in type constructors with their kinds — ``Int :: Type``,
+  ``Int# :: TYPE IntRep``, ``Maybe :: Type -> Type``,
+  ``Array# :: Type -> TYPE UnliftedRep`` and so on;
+* the levity-polymorphic function arrow
+  ``(->) :: forall r1 r2. TYPE r1 -> TYPE r2 -> Type`` (Section 4.3);
+* unboxed tuple types ``(# a, b #)`` whose kinds carry ``TupleRep`` lists
+  (Section 4.2);
+* quantification over type variables *and* representation variables, with
+  class constraints (``Num a => ...``) for Section 7.3.
+
+Kinds are the :class:`repro.core.kinds.Kind` values, so everything the core
+package knows about representations (register shapes, concreteness, the
+levity restrictions) applies directly to surface types.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.errors import KindError, ScopeError, TypeCheckError
+from ..core.kinds import (
+    ArrowKind,
+    CONSTRAINT,
+    Kind,
+    REP_KIND,
+    TYPE_DOUBLE,
+    TYPE_FLOAT,
+    TYPE_INT,
+    TYPE_LIFTED,
+    TYPE_UNLIFTED,
+    TypeKind,
+    type_kind,
+)
+from ..core.rep import (
+    ADDR_REP,
+    CHAR_REP,
+    DOUBLE_REP,
+    FLOAT_REP,
+    INT_REP,
+    LIFTED,
+    Rep,
+    RepVar,
+    TupleRep,
+    UNLIFTED,
+    WORD_REP,
+)
+
+# ---------------------------------------------------------------------------
+# Type AST
+# ---------------------------------------------------------------------------
+
+
+class SType:
+    """Abstract base class of surface types."""
+
+    def free_type_vars(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def free_rep_vars(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def free_uvars(self) -> FrozenSet[str]:
+        """Free *unification* variables (those invented by inference)."""
+        raise NotImplementedError
+
+    def subst_types(self, mapping: Dict[str, "SType"]) -> "SType":
+        raise NotImplementedError
+
+    def subst_reps(self, mapping: Dict[str, Rep]) -> "SType":
+        raise NotImplementedError
+
+    def pretty(self, explicit_runtime_reps: bool = True) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.pretty()
+
+
+@dataclass(frozen=True)
+class TyCon(SType):
+    """A type constructor with its kind, e.g. ``Int# :: TYPE IntRep``."""
+
+    name: str
+    kind: Kind
+
+    def free_type_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def free_rep_vars(self) -> FrozenSet[str]:
+        return self.kind.free_rep_vars()
+
+    def free_uvars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def subst_types(self, mapping: Dict[str, SType]) -> SType:
+        return self
+
+    def subst_reps(self, mapping: Dict[str, Rep]) -> SType:
+        return TyCon(self.name, self.kind.substitute_reps(mapping))
+
+    def pretty(self, explicit_runtime_reps: bool = True) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TyVar(SType):
+    """A (rigid, user-written or skolemised) type variable with its kind."""
+
+    name: str
+    kind: Kind = TYPE_LIFTED
+
+    def free_type_vars(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def free_rep_vars(self) -> FrozenSet[str]:
+        return self.kind.free_rep_vars()
+
+    def free_uvars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def subst_types(self, mapping: Dict[str, SType]) -> SType:
+        return mapping.get(self.name, self)
+
+    def subst_reps(self, mapping: Dict[str, Rep]) -> SType:
+        return TyVar(self.name, self.kind.substitute_reps(mapping))
+
+    def pretty(self, explicit_runtime_reps: bool = True) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TyUVar(SType):
+    """A unification (meta) variable invented by the inference engine.
+
+    Section 5.2: when GHC checks ``λx → e`` it invents a type unification
+    variable ``α`` *and* a representation unification variable ``ρ`` and sets
+    ``α :: TYPE ρ``.  The same happens here; solutions live in the
+    :class:`repro.infer.unify.UnifierState` store rather than in mutable
+    cells, and :meth:`repro.infer.unify.UnifierState.zonk_type` plays the
+    role of GHC's zonking (Section 8.2).
+    """
+
+    name: str
+    kind: Kind = TYPE_LIFTED
+
+    def free_type_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def free_rep_vars(self) -> FrozenSet[str]:
+        return self.kind.free_rep_vars()
+
+    def free_uvars(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def subst_types(self, mapping: Dict[str, SType]) -> SType:
+        return mapping.get(self.name, self)
+
+    def subst_reps(self, mapping: Dict[str, Rep]) -> SType:
+        return TyUVar(self.name, self.kind.substitute_reps(mapping))
+
+    def pretty(self, explicit_runtime_reps: bool = True) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class FunTy(SType):
+    """The function type ``argument -> result``.
+
+    The arrow itself is the levity-polymorphic
+    ``(->) :: forall r1 r2. TYPE r1 -> TYPE r2 -> Type``; a saturated arrow
+    type always has kind ``Type`` regardless of the representations of its
+    argument and result (rule T_ARROW).
+    """
+
+    argument: SType
+    result: SType
+
+    def free_type_vars(self) -> FrozenSet[str]:
+        return self.argument.free_type_vars() | self.result.free_type_vars()
+
+    def free_rep_vars(self) -> FrozenSet[str]:
+        return self.argument.free_rep_vars() | self.result.free_rep_vars()
+
+    def free_uvars(self) -> FrozenSet[str]:
+        return self.argument.free_uvars() | self.result.free_uvars()
+
+    def subst_types(self, mapping: Dict[str, SType]) -> SType:
+        return FunTy(self.argument.subst_types(mapping),
+                     self.result.subst_types(mapping))
+
+    def subst_reps(self, mapping: Dict[str, Rep]) -> SType:
+        return FunTy(self.argument.subst_reps(mapping),
+                     self.result.subst_reps(mapping))
+
+    def pretty(self, explicit_runtime_reps: bool = True) -> str:
+        arg = self.argument.pretty(explicit_runtime_reps)
+        if isinstance(self.argument, (FunTy, ForAllTy, QualTy)):
+            arg = f"({arg})"
+        return f"{arg} -> {self.result.pretty(explicit_runtime_reps)}"
+
+
+@dataclass(frozen=True)
+class TyApp(SType):
+    """Type application, e.g. ``Maybe Int`` or ``Array# Double``."""
+
+    function: SType
+    argument: SType
+
+    def free_type_vars(self) -> FrozenSet[str]:
+        return self.function.free_type_vars() | self.argument.free_type_vars()
+
+    def free_rep_vars(self) -> FrozenSet[str]:
+        return self.function.free_rep_vars() | self.argument.free_rep_vars()
+
+    def free_uvars(self) -> FrozenSet[str]:
+        return self.function.free_uvars() | self.argument.free_uvars()
+
+    def subst_types(self, mapping: Dict[str, SType]) -> SType:
+        return TyApp(self.function.subst_types(mapping),
+                     self.argument.subst_types(mapping))
+
+    def subst_reps(self, mapping: Dict[str, Rep]) -> SType:
+        return TyApp(self.function.subst_reps(mapping),
+                     self.argument.subst_reps(mapping))
+
+    def pretty(self, explicit_runtime_reps: bool = True) -> str:
+        arg = self.argument.pretty(explicit_runtime_reps)
+        if isinstance(self.argument, (TyApp, FunTy, ForAllTy, QualTy)):
+            arg = f"({arg})"
+        return f"{self.function.pretty(explicit_runtime_reps)} {arg}"
+
+
+@dataclass(frozen=True)
+class UnboxedTupleTy(SType):
+    """An unboxed tuple type ``(# t1, ..., tn #)`` (Section 4.2)."""
+
+    components: Tuple[SType, ...]
+
+    def __init__(self, components: Iterable[SType] = ()) -> None:
+        object.__setattr__(self, "components", tuple(components))
+
+    def free_type_vars(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for component in self.components:
+            out = out | component.free_type_vars()
+        return out
+
+    def free_rep_vars(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for component in self.components:
+            out = out | component.free_rep_vars()
+        return out
+
+    def free_uvars(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for component in self.components:
+            out = out | component.free_uvars()
+        return out
+
+    def subst_types(self, mapping: Dict[str, SType]) -> SType:
+        return UnboxedTupleTy(c.subst_types(mapping) for c in self.components)
+
+    def subst_reps(self, mapping: Dict[str, Rep]) -> SType:
+        return UnboxedTupleTy(c.subst_reps(mapping) for c in self.components)
+
+    def pretty(self, explicit_runtime_reps: bool = True) -> str:
+        inner = ", ".join(c.pretty(explicit_runtime_reps)
+                          for c in self.components)
+        return f"(# {inner} #)" if inner else "(# #)"
+
+
+@dataclass(frozen=True)
+class Binder:
+    """A quantified variable in a ``forall``: a type or representation binder."""
+
+    name: str
+    kind: Kind  # REP_KIND for representation binders, TYPE … otherwise
+
+    def is_rep_binder(self) -> bool:
+        return self.kind == REP_KIND
+
+    def pretty(self, explicit_runtime_reps: bool = True) -> str:
+        return f"({self.name} :: {self.kind.pretty(explicit_runtime_reps)})"
+
+
+@dataclass(frozen=True)
+class ForAllTy(SType):
+    """``forall (b1 :: k1) ... (bn :: kn). body``.
+
+    Representation binders (``r :: Rep``) and type binders
+    (``a :: TYPE r`` / ``a :: Type``) share this one construct, exactly as in
+    GHC where ``RuntimeRep`` variables are ordinary kind-level variables.
+    """
+
+    binders: Tuple[Binder, ...]
+    body: SType
+
+    def __init__(self, binders: Iterable[Binder], body: SType) -> None:
+        object.__setattr__(self, "binders", tuple(binders))
+        object.__setattr__(self, "body", body)
+
+    def free_type_vars(self) -> FrozenSet[str]:
+        bound = {b.name for b in self.binders if not b.is_rep_binder()}
+        return self.body.free_type_vars() - bound
+
+    def free_rep_vars(self) -> FrozenSet[str]:
+        bound = {b.name for b in self.binders if b.is_rep_binder()}
+        out = self.body.free_rep_vars()
+        for binder in self.binders:
+            out = out | binder.kind.free_rep_vars()
+        return out - bound
+
+    def free_uvars(self) -> FrozenSet[str]:
+        return self.body.free_uvars()
+
+    def subst_types(self, mapping: Dict[str, SType]) -> SType:
+        bound = {b.name for b in self.binders}
+        filtered = {k: v for k, v in mapping.items() if k not in bound}
+        return ForAllTy(self.binders, self.body.subst_types(filtered))
+
+    def subst_reps(self, mapping: Dict[str, Rep]) -> SType:
+        bound = {b.name for b in self.binders if b.is_rep_binder()}
+        filtered = {k: v for k, v in mapping.items() if k not in bound}
+        binders = tuple(Binder(b.name, b.kind.substitute_reps(filtered))
+                        for b in self.binders)
+        return ForAllTy(binders, self.body.subst_reps(filtered))
+
+    def pretty(self, explicit_runtime_reps: bool = True) -> str:
+        binders = self.binders
+        if not explicit_runtime_reps:
+            # Mirror GHC's display defaulting (Section 8.1): hide rep binders
+            # and show their kinds as Type.
+            binders = tuple(b for b in binders if not b.is_rep_binder())
+        quantified = " ".join(b.pretty(explicit_runtime_reps)
+                              for b in binders)
+        body = self.body.pretty(explicit_runtime_reps)
+        if not quantified:
+            return body
+        return f"forall {quantified}. {body}"
+
+
+@dataclass(frozen=True)
+class ClassConstraint:
+    """A class constraint such as ``Num a`` (possibly at an unboxed type)."""
+
+    class_name: str
+    argument: SType
+
+    def pretty(self, explicit_runtime_reps: bool = True) -> str:
+        arg = self.argument.pretty(explicit_runtime_reps)
+        if isinstance(self.argument, (TyApp, FunTy, ForAllTy)):
+            arg = f"({arg})"
+        return f"{self.class_name} {arg}"
+
+    def __repr__(self) -> str:
+        return self.pretty()
+
+
+@dataclass(frozen=True)
+class QualTy(SType):
+    """A qualified type ``C1, ..., Cn => body``."""
+
+    constraints: Tuple[ClassConstraint, ...]
+    body: SType
+
+    def __init__(self, constraints: Iterable[ClassConstraint],
+                 body: SType) -> None:
+        object.__setattr__(self, "constraints", tuple(constraints))
+        object.__setattr__(self, "body", body)
+
+    def free_type_vars(self) -> FrozenSet[str]:
+        out = self.body.free_type_vars()
+        for constraint in self.constraints:
+            out = out | constraint.argument.free_type_vars()
+        return out
+
+    def free_rep_vars(self) -> FrozenSet[str]:
+        out = self.body.free_rep_vars()
+        for constraint in self.constraints:
+            out = out | constraint.argument.free_rep_vars()
+        return out
+
+    def free_uvars(self) -> FrozenSet[str]:
+        out = self.body.free_uvars()
+        for constraint in self.constraints:
+            out = out | constraint.argument.free_uvars()
+        return out
+
+    def subst_types(self, mapping: Dict[str, SType]) -> SType:
+        constraints = tuple(
+            ClassConstraint(c.class_name, c.argument.subst_types(mapping))
+            for c in self.constraints)
+        return QualTy(constraints, self.body.subst_types(mapping))
+
+    def subst_reps(self, mapping: Dict[str, Rep]) -> SType:
+        constraints = tuple(
+            ClassConstraint(c.class_name, c.argument.subst_reps(mapping))
+            for c in self.constraints)
+        return QualTy(constraints, self.body.subst_reps(mapping))
+
+    def pretty(self, explicit_runtime_reps: bool = True) -> str:
+        constraints = ", ".join(c.pretty(explicit_runtime_reps)
+                                for c in self.constraints)
+        if len(self.constraints) != 1:
+            constraints = f"({constraints})"
+        return f"{constraints} => {self.body.pretty(explicit_runtime_reps)}"
+
+
+# ---------------------------------------------------------------------------
+# Built-in type constructors (the surface "prelude" of types)
+# ---------------------------------------------------------------------------
+
+#: Boxed, lifted base types.
+INT_TY = TyCon("Int", TYPE_LIFTED)
+INTEGER_TY = TyCon("Integer", TYPE_LIFTED)
+BOOL_TY = TyCon("Bool", TYPE_LIFTED)
+CHAR_TY = TyCon("Char", TYPE_LIFTED)
+FLOAT_TY = TyCon("Float", TYPE_LIFTED)
+DOUBLE_TY = TyCon("Double", TYPE_LIFTED)
+STRING_TY = TyCon("String", TYPE_LIFTED)
+UNIT_TY = TyCon("()", TYPE_LIFTED)
+WORD_TY = TyCon("Word", TYPE_LIFTED)
+ORDERING_TY = TyCon("Ordering", TYPE_LIFTED)
+
+#: Unboxed base types (Figure 1's bottom-right corner).
+INT_HASH_TY = TyCon("Int#", TYPE_INT)
+WORD_HASH_TY = TyCon("Word#", type_kind(WORD_REP))
+CHAR_HASH_TY = TyCon("Char#", type_kind(CHAR_REP))
+FLOAT_HASH_TY = TyCon("Float#", TYPE_FLOAT)
+DOUBLE_HASH_TY = TyCon("Double#", TYPE_DOUBLE)
+ADDR_HASH_TY = TyCon("Addr#", type_kind(ADDR_REP))
+
+#: Boxed but unlifted types (Figure 1's bottom-left corner).
+BYTEARRAY_HASH_TY = TyCon("ByteArray#", TYPE_UNLIFTED)
+MUTABLE_BYTEARRAY_HASH_TY = TyCon(
+    "MutableByteArray#", ArrowKind(TYPE_LIFTED, TYPE_UNLIFTED))
+ARRAY_HASH_TY = TyCon("Array#", ArrowKind(TYPE_LIFTED, TYPE_UNLIFTED))
+MUTVAR_HASH_TY = TyCon(
+    "MutVar#", ArrowKind(TYPE_LIFTED, ArrowKind(TYPE_LIFTED, TYPE_UNLIFTED)))
+
+#: Lifted type constructors.
+MAYBE_TY = TyCon("Maybe", ArrowKind(TYPE_LIFTED, TYPE_LIFTED))
+LIST_TY = TyCon("[]", ArrowKind(TYPE_LIFTED, TYPE_LIFTED))
+PAIR_TY = TyCon("(,)", ArrowKind(TYPE_LIFTED,
+                                 ArrowKind(TYPE_LIFTED, TYPE_LIFTED)))
+EITHER_TY = TyCon("Either", ArrowKind(TYPE_LIFTED,
+                                      ArrowKind(TYPE_LIFTED, TYPE_LIFTED)))
+IO_TY = TyCon("IO", ArrowKind(TYPE_LIFTED, TYPE_LIFTED))
+
+#: A name -> TyCon table used by the parser and the inference environment.
+BUILTIN_TYCONS: Dict[str, TyCon] = {
+    tycon.name: tycon
+    for tycon in (
+        INT_TY, INTEGER_TY, BOOL_TY, CHAR_TY, FLOAT_TY, DOUBLE_TY, STRING_TY,
+        UNIT_TY, WORD_TY, ORDERING_TY,
+        INT_HASH_TY, WORD_HASH_TY, CHAR_HASH_TY, FLOAT_HASH_TY,
+        DOUBLE_HASH_TY, ADDR_HASH_TY,
+        BYTEARRAY_HASH_TY, MUTABLE_BYTEARRAY_HASH_TY, ARRAY_HASH_TY,
+        MUTVAR_HASH_TY,
+        MAYBE_TY, LIST_TY, PAIR_TY, EITHER_TY, IO_TY,
+    )
+}
+
+
+def lookup_tycon(name: str) -> TyCon:
+    """Look up a built-in type constructor by name."""
+    try:
+        return BUILTIN_TYCONS[name]
+    except KeyError:
+        raise ScopeError(f"unknown type constructor {name!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Kinding
+# ---------------------------------------------------------------------------
+
+
+def kind_of_type(type_: SType,
+                 rep_env: Optional[Dict[str, Rep]] = None) -> Kind:
+    """Compute the kind of a surface type.
+
+    ``rep_env`` maps in-scope representation-variable names to themselves
+    (or to solutions); it is threaded by the inference engine.  Raises
+    :class:`KindError` for ill-kinded types (for example an unsaturated
+    type-constructor application applied to the wrong kind).
+    """
+    rep_env = rep_env or {}
+
+    if isinstance(type_, (TyCon, TyVar, TyUVar)):
+        return type_.kind
+
+    if isinstance(type_, FunTy):
+        # Both sides must have *some* value kind; the arrow is Type.
+        for side, label in ((type_.argument, "argument"),
+                            (type_.result, "result")):
+            side_kind = kind_of_type(side, rep_env)
+            if not isinstance(side_kind, TypeKind):
+                raise KindError(
+                    f"the {label} of a function arrow must have a value "
+                    f"kind, but {side.pretty()} has kind {side_kind.pretty()}")
+        return TYPE_LIFTED
+
+    if isinstance(type_, TyApp):
+        function_kind = kind_of_type(type_.function, rep_env)
+        argument_kind = kind_of_type(type_.argument, rep_env)
+        if not isinstance(function_kind, ArrowKind):
+            raise KindError(
+                f"{type_.function.pretty()} of kind {function_kind.pretty()} "
+                "cannot be applied to a type argument")
+        if function_kind.argument != argument_kind:
+            raise KindError(
+                f"kind mismatch in {type_.pretty()}: expected "
+                f"{function_kind.argument.pretty()}, got "
+                f"{argument_kind.pretty()}")
+        return function_kind.result
+
+    if isinstance(type_, UnboxedTupleTy):
+        reps: List[Rep] = []
+        for component in type_.components:
+            component_kind = kind_of_type(component, rep_env)
+            if not isinstance(component_kind, TypeKind):
+                raise KindError(
+                    f"unboxed tuple component {component.pretty()} has "
+                    f"non-value kind {component_kind.pretty()}")
+            reps.append(component_kind.rep)
+        return TypeKind(TupleRep(reps))
+
+    if isinstance(type_, ForAllTy):
+        inner_env = dict(rep_env)
+        for binder in type_.binders:
+            if binder.is_rep_binder():
+                inner_env[binder.name] = RepVar(binder.name)
+        # As in L's T_ALLTY, a forall has the kind of its body (type erasure).
+        return kind_of_type(type_.body, inner_env)
+
+    if isinstance(type_, QualTy):
+        return kind_of_type(type_.body, rep_env)
+
+    raise TypeCheckError(f"unknown surface type form: {type_!r}")
+
+
+def rep_of_type(type_: SType) -> Rep:
+    """The runtime representation of a value type (its kind's ``Rep``)."""
+    kind = kind_of_type(type_)
+    if not isinstance(kind, TypeKind):
+        raise KindError(
+            f"{type_.pretty()} has kind {kind.pretty()}, which does not "
+            "classify values")
+    return kind.rep
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+
+def fun(*types: SType) -> SType:
+    """Right-nested function type: ``fun(a, b, c) == a -> (b -> c)``."""
+    if not types:
+        raise ValueError("fun needs at least one type")
+    result = types[-1]
+    for argument in reversed(types[:-1]):
+        result = FunTy(argument, result)
+    return result
+
+
+def forall_reps(names: Sequence[str], body: SType) -> ForAllTy:
+    """``forall (r1 :: Rep) ... . body``."""
+    return ForAllTy(tuple(Binder(n, REP_KIND) for n in names), body)
+
+
+def forall_types(binders: Sequence[Tuple[str, Kind]], body: SType) -> ForAllTy:
+    """``forall (a1 :: k1) ... . body``."""
+    return ForAllTy(tuple(Binder(n, k) for n, k in binders), body)
+
+
+def rep_var_kind(name: str) -> TypeKind:
+    """The kind ``TYPE r`` for a representation variable named ``name``."""
+    return TypeKind(RepVar(name))
+
+
+_uvar_counter = itertools.count()
+
+
+def fresh_tyuvar(kind: Kind) -> TyUVar:
+    """A fresh type unification variable of the given kind."""
+    return TyUVar(f"t{next(_uvar_counter)}", kind)

@@ -1,0 +1,196 @@
+"""Tests for the M machine (Figures 5-6), joinability, and compilation (Figure 7)."""
+
+import pytest
+
+from repro.compile import VarEnv, compile_and_run, compile_expr
+from repro.core.errors import CompilationError, MachineError
+from repro.lang_l import Context, INT, INT_HASH, Lit as LLit, Var as LVar, lam
+from repro.lang_l.examples import LEVITY_VIOLATIONS, WELL_TYPED
+from repro.lang_l.syntax import App as LApp, Con as LCon, boxed_int
+from repro.lang_m import (
+    Machine,
+    MAppLit,
+    MAppVar,
+    MCase,
+    MConLit,
+    MConVar,
+    MError,
+    MLam,
+    MLet,
+    MLetStrict,
+    MLit,
+    MVarRef,
+    alpha_equivalent,
+    fresh_integer_var,
+    fresh_pointer_var,
+    joinable,
+    run,
+)
+
+
+class TestMachine:
+    def test_literal_is_final(self):
+        result = run(MLit(42))
+        assert result.unwrap() == MLit(42)
+        assert result.costs.steps == 0
+
+    def test_lazy_let_allocates_and_val_reads(self):
+        p = fresh_pointer_var()
+        expr = MLet(p, MConLit(7), MVarRef(p))
+        result = run(expr)
+        assert result.unwrap() == MConLit(7)
+        assert result.costs.heap_lookups >= 1
+
+    def test_thunk_is_forced_once_and_updated(self):
+        """EVAL/FCE implement thunk sharing: the second read sees the value."""
+        p = fresh_pointer_var()
+        i = fresh_integer_var()
+        # let p = case I#[3] of I#[i] -> I#[i]  in  case p of I#[i] -> p
+        thunk_body = MCase(MConLit(3), i, MConVar(i))
+        expr = MLet(p, thunk_body, MCase(MVarRef(p), i, MVarRef(p)))
+        result = run(expr)
+        assert result.unwrap() == MConLit(3)
+        assert result.costs.thunk_forces == 1
+        assert result.costs.thunk_updates == 1
+
+    def test_strict_let_evaluates_rhs(self):
+        i = fresh_integer_var()
+        expr = MLetStrict(i, MLit(5), MConVar(i))
+        result = run(expr)
+        assert result.unwrap() == MConLit(5)
+        assert result.costs.heap_allocations == 0
+
+    def test_pointer_application(self):
+        p_arg = fresh_pointer_var()
+        p_binder = fresh_pointer_var()
+        expr = MLet(p_arg, MConLit(9),
+                    MAppVar(MLam(p_binder, MVarRef(p_binder)), p_arg))
+        assert run(expr).unwrap() == MConLit(9)
+
+    def test_integer_application(self):
+        i = fresh_integer_var()
+        expr = MAppLit(MLam(i, MVarRef(i)), 11)
+        assert run(expr).unwrap() == MLit(11)
+
+    def test_register_sort_mismatch_is_a_machine_error(self):
+        """Passing an integer literal to a pointer-binder λ is stuck (IPOP)."""
+        p = fresh_pointer_var()
+        with pytest.raises(MachineError):
+            run(MAppLit(MLam(p, MVarRef(p)), 3))
+
+    def test_error_aborts(self):
+        result = run(MError())
+        assert result.aborted
+        with pytest.raises(MachineError):
+            result.unwrap()
+
+    def test_case_unpacks_boxed_integer(self):
+        i = fresh_integer_var()
+        assert run(MCase(MConLit(21), i, MVarRef(i))).unwrap() == MLit(21)
+
+    def test_unbound_pointer_is_a_machine_error(self):
+        with pytest.raises(MachineError):
+            run(MVarRef(fresh_pointer_var()))
+
+    def test_trace_records_states(self):
+        i = fresh_integer_var()
+        machine = Machine(MLetStrict(i, MLit(1), MVarRef(i)))
+        states = machine.trace()
+        assert len(states) >= 3
+        assert states[0].expr == MLetStrict(i, MLit(1), MVarRef(i))
+
+
+class TestJoinability:
+    def test_equal_literals_are_joinable(self):
+        assert joinable(MLit(4), MLit(4)).joinable
+
+    def test_distinct_literals_are_not_joinable(self):
+        assert not joinable(MLit(4), MLit(5)).joinable
+
+    def test_value_and_administrative_let_are_joinable(self):
+        p = fresh_pointer_var()
+        assert joinable(MConLit(3), MLet(p, MConLit(3), MVarRef(p))).joinable
+
+    def test_both_error_joinable(self):
+        assert joinable(MError(), MError()).joinable
+
+    def test_error_and_value_not_joinable(self):
+        assert not joinable(MError(), MLit(0)).joinable
+
+    def test_lambdas_probed_for_joinability(self):
+        i1, i2 = fresh_integer_var(), fresh_integer_var()
+        identity = MLam(i1, MVarRef(i1))
+        eta = MLam(i2, MAppLit(MLam(i1, MVarRef(i1)), 0))  # constant 0
+        assert joinable(identity, identity).joinable
+        assert not joinable(identity, eta).joinable
+
+    def test_alpha_equivalence(self):
+        i1, i2 = fresh_integer_var(), fresh_integer_var()
+        assert alpha_equivalent(MLam(i1, MVarRef(i1)), MLam(i2, MVarRef(i2)))
+        p = fresh_pointer_var()
+        assert not alpha_equivalent(MLam(i1, MVarRef(i1)),
+                                    MLam(p, MVarRef(p)))
+
+
+class TestCompilation:
+    @pytest.mark.parametrize("example", WELL_TYPED, ids=lambda e: e.name)
+    def test_every_well_typed_example_compiles(self, example):
+        compile_expr(example.expr)  # must not raise
+
+    @pytest.mark.parametrize("example",
+                             [e for e in WELL_TYPED
+                              if e.expected_value is not None or e.diverges],
+                             ids=lambda e: e.name)
+    def test_compiled_code_computes_the_same_answer(self, example):
+        from repro.lang_l.syntax import Con as SrcCon, Lit as SrcLit
+
+        result = compile_and_run(example.expr)
+        if example.diverges:
+            assert result.aborted
+            return
+        value = result.unwrap()
+        expected = example.expected_value
+        if isinstance(expected, SrcLit):
+            assert value == MLit(expected.value)
+        elif isinstance(expected, SrcCon):
+            assert value == MConLit(expected.argument.value)
+
+    @pytest.mark.parametrize("example", LEVITY_VIOLATIONS,
+                             ids=lambda e: e.name)
+    def test_levity_violations_do_not_compile(self, example):
+        """The compiler is partial exactly on the programs typing rejects."""
+        with pytest.raises(CompilationError):
+            compile_expr(example.expr)
+
+    def test_type_and_rep_abstractions_are_erased(self):
+        from repro.lang_l.examples import DOLLAR
+        result = compile_expr(DOLLAR)
+        assert result.erased_type_nodes >= 3
+        # The compiled code is a plain λ-term with no type structure left.
+        assert isinstance(result.code, MLam)
+
+    def test_lazy_vs_strict_lets_follow_argument_kinds(self):
+        boxed_app = LApp(lam("x", INT, LVar("x")), boxed_int(1))
+        unboxed_app = LApp(lam("x", INT_HASH, LVar("x")), LLit(1))
+        assert compile_expr(boxed_app).lazy_lets == 1
+        assert compile_expr(boxed_app).strict_lets >= 1  # the I#[1] box
+        assert compile_expr(unboxed_app).lazy_lets == 0
+        assert compile_expr(unboxed_app).strict_lets == 1
+
+    def test_free_variable_does_not_compile(self):
+        with pytest.raises(CompilationError):
+            compile_expr(LVar("ghost"))
+
+    def test_compilation_with_environment(self):
+        env = VarEnv().bind("x", fresh_pointer_var())
+        ctx = Context().bind_term("x", INT)
+        result = compile_expr(LVar("x"), ctx, env)
+        assert isinstance(result.code, MVarRef)
+
+    def test_var_env_compatibility_check(self):
+        ctx = Context().bind_term("x", INT)
+        good = VarEnv().bind("x", fresh_pointer_var())
+        bad = VarEnv().bind("x", fresh_integer_var())
+        assert good.compatible_with(ctx)
+        assert not bad.compatible_with(ctx)
+        assert not VarEnv().compatible_with(ctx)

@@ -1,0 +1,82 @@
+"""Executable metatheory: Preservation, Progress, Compilation, Simulation (§6)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang_l import Context, type_of
+from repro.lang_l.examples import WELL_TYPED
+from repro.metatheory import (
+    check_all,
+    check_compilation,
+    check_preservation,
+    check_progress,
+    check_simulation,
+    generate_corpus,
+    generate_program,
+)
+
+
+class TestTheoremsOnExamples:
+    @pytest.mark.parametrize("example", WELL_TYPED, ids=lambda e: e.name)
+    def test_all_theorems_hold_on_the_example_catalogue(self, example):
+        report = check_all(example.expr, max_steps=60, probe_depth=1)
+        assert report.all_hold, report.failures()
+
+    def test_preservation_vacuous_on_values(self):
+        from repro.lang_l.syntax import Lit
+        assert check_preservation(Lit(1)).holds
+
+    def test_progress_fails_on_ill_typed_term(self):
+        from repro.lang_l.syntax import Var
+        assert not check_progress(Var("ghost")).holds
+
+    def test_compilation_fails_on_ill_typed_term(self):
+        from repro.lang_l.syntax import App, Lit
+        assert not check_compilation(App(Lit(1), Lit(2))).holds
+
+
+class TestTheoremsOnRandomPrograms:
+    """The paper's theorems, tested over a seeded random corpus."""
+
+    CORPUS = generate_corpus(40, seed=100, depth=4)
+
+    @pytest.mark.parametrize("seed,program", CORPUS,
+                             ids=[f"seed{s}" for s, _ in CORPUS])
+    def test_generated_programs_are_well_typed(self, seed, program):
+        type_of(Context(), program)  # must not raise
+
+    @pytest.mark.parametrize("seed,program", CORPUS[:20],
+                             ids=[f"seed{s}" for s, _ in CORPUS[:20]])
+    def test_preservation_progress_compilation_along_traces(self, seed,
+                                                            program):
+        report = check_all(program, max_steps=50,
+                           check_simulation_steps=False)
+        assert report.all_hold, report.failures()
+
+    @pytest.mark.parametrize("seed,program", CORPUS[:10],
+                             ids=[f"seed{s}" for s, _ in CORPUS[:10]])
+    def test_simulation_along_traces(self, seed, program):
+        report = check_all(program, max_steps=25, check_simulation_steps=True,
+                           probe_depth=1)
+        assert report.all_hold, report.failures()
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_hypothesis_generated_programs_satisfy_progress_and_preservation(
+            self, seed):
+        program = generate_program(seed, depth=3)
+        type_of(Context(), program)
+        assert check_progress(program).holds
+        assert check_preservation(program).holds
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_hypothesis_generated_programs_compile(self, seed):
+        program = generate_program(seed, depth=3)
+        assert check_compilation(program).holds
+
+    @given(seed=st.integers(min_value=0, max_value=3_000))
+    @settings(max_examples=10, deadline=None)
+    def test_hypothesis_simulation_single_step(self, seed):
+        program = generate_program(seed, depth=3)
+        assert check_simulation(program, probe_depth=1).holds
