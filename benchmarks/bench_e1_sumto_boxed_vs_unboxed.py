@@ -13,7 +13,7 @@ cells per iteration, giving a 10x-100x cycle gap that grows with n.
 
 import pytest
 
-from benchreport import emit
+from benchreport import emit, time_op
 from repro.runtime import run_sum_to_boxed, run_sum_to_unboxed
 
 SIZES = (50, 200, 500)
@@ -39,6 +39,11 @@ def test_report_sumto_comparison():
     for n in SIZES:
         rows.extend(_rows(n))
     emit("E1: sumTo boxed vs unboxed (Section 2.1)", rows)
+    # Wall-clock record for BENCH_perf.json (cost-model evaluator runs).
+    time_op("e1.sum_to_boxed.current", run_sum_to_boxed, 500,
+            meta={"n": 500})
+    time_op("e1.sum_to_unboxed.current", run_sum_to_unboxed, 500,
+            meta={"n": 500})
     # Shape assertions: unboxed never touches the heap; boxed is much slower.
     for n in SIZES:
         _, boxed = run_sum_to_boxed(n)

@@ -15,7 +15,7 @@ Paper claims reproduced:
 
 import pytest
 
-from benchreport import emit
+from benchreport import emit, record_counter, time_op
 from repro.core.errors import LevityError
 from repro.core.kinds import REP_KIND, TYPE_LIFTED
 from repro.infer import InferOptions, infer_binding
@@ -88,6 +88,40 @@ def test_report_dollar_with_unboxed_result():
         ("unboxInt $ 42", "Int# (accepted)", result_type.pretty()),
     ])
     assert result_type == INT_HASH_TY
+
+
+def test_perf_record_inference():
+    """Wall-clock record of the E7 inference workloads for BENCH_perf.json."""
+    from repro.infer import Inferencer
+    from repro.surface.ast import ELitIntHash
+
+    def unsigned(rounds=100):
+        for _ in range(rounds):
+            infer_binding("f", ["x", "y"], EVar("x"), env=ENV)
+
+    sig = fun(INT_HASH_TY, INT_HASH_TY, INT_HASH_TY)
+    rhs = ECase(apply(EVar("==#"), EVar("n"), ELitIntHash(0)),
+                [Alternative("1#", [], EVar("acc")),
+                 Alternative("_", [],
+                             apply(EVar("sumTo#"),
+                                   apply(EVar("+#"), EVar("acc"), EVar("n")),
+                                   apply(EVar("-#"), EVar("n"),
+                                         ELitIntHash(1))))])
+
+    def signature_checked(rounds=100):
+        for _ in range(rounds):
+            infer_binding("sumTo#", ["acc", "n"], rhs, signature=sig, env=ENV)
+
+    time_op("e7.unsigned_inference.current", unsigned, 100,
+            meta={"rounds": 100})
+    time_op("e7.signature_checked.current", signature_checked, 100,
+            meta={"rounds": 100})
+
+    # Solver op counters for one representative signature-checked binding.
+    inferencer = Inferencer()
+    inferencer.infer_binding(ENV, "sumTo#", ["acc", "n"], rhs, signature=sig)
+    record_counter("e7.signature_checked.solver_ops",
+                   inferencer.state.stats.as_dict())
 
 
 @pytest.mark.benchmark(group="e7-inference")

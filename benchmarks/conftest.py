@@ -2,4 +2,20 @@
 
 import sys
 
-sys.setrecursionlimit(200_000)
+import benchreport
+
+# The seed needed sys.setrecursionlimit(200_000) here because the old
+# unifier recursed through variable->variable solution chains while zonking.
+# The union-find solver is iterative (bench_e11 asserts a 5000-deep chain
+# solves under the *default* 1000-frame limit), so only the recursive
+# cost-model evaluator and the legacy baseline solver need headroom now.
+sys.setrecursionlimit(20_000)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush wall-clock timings collected by the benchmarks to BENCH_perf.json."""
+    report = benchreport.write_perf_json()
+    if report is not None:
+        print(f"\n[benchreport] wrote {benchreport.PERF_JSON_PATH} "
+              f"({len(report['timings'])} timings, "
+              f"{len(report['counters'])} counters)")

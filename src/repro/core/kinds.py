@@ -15,14 +15,17 @@ This module provides:
   the surface language.
 
 Kinds are immutable and hashable, so they can be used as dictionary keys by
-the inference engine.
+the inference engine.  Like the ``Rep`` algebra, kinds are **hash-consed**
+(except ``TYPE r`` at a representation *variable*, which is too short-lived
+to be worth a table entry): equal kinds are usually the same object, hashes
+are cached, and the ``free_*`` queries are memoised per node (see
+``docs/PERF.md``).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, Tuple
 
 from .rep import (
     DOUBLE_REP,
@@ -35,18 +38,41 @@ from .rep import (
     TupleRep,
 )
 
+_EMPTY_NAMES: FrozenSet[str] = frozenset()
+
 
 class Kind:
     """Abstract base class of kinds."""
+
+    __slots__ = ("_hash", "_free_rep", "_free_kind")
+
+    def _init_caches(self) -> None:
+        self._hash = None
+        self._free_rep = None
+        self._free_kind = None
 
     def is_type_kind(self) -> bool:
         """Is this ``TYPE r`` for some ``r``? (i.e. does it classify values?)"""
         return isinstance(self, TypeKind)
 
     def free_rep_vars(self) -> FrozenSet[str]:
-        raise NotImplementedError
+        free = self._free_rep
+        if free is None:
+            free = self._compute_free_rep_vars()
+            self._free_rep = free
+        return free
 
     def free_kind_vars(self) -> FrozenSet[str]:
+        free = self._free_kind
+        if free is None:
+            free = self._compute_free_kind_vars()
+            self._free_kind = free
+        return free
+
+    def _compute_free_rep_vars(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def _compute_free_kind_vars(self) -> FrozenSet[str]:
         raise NotImplementedError
 
     def substitute_reps(self, mapping: Dict[str, Rep]) -> "Kind":
@@ -59,6 +85,16 @@ class Kind:
         """No representation or kind variables anywhere inside."""
         return not self.free_rep_vars() and not self.free_kind_vars()
 
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = self._compute_hash()
+            self._hash = h
+        return h
+
+    def _compute_hash(self) -> int:
+        raise NotImplementedError
+
     def pretty(self, explicit_runtime_reps: bool = True) -> str:
         raise NotImplementedError
 
@@ -66,19 +102,42 @@ class Kind:
         return self.pretty()
 
 
-@dataclass(frozen=True)
 class TypeKind(Kind):
     """The kind ``TYPE r`` of types whose values have representation ``r``."""
 
-    rep: Rep
+    __slots__ = ("rep",)
 
-    def free_rep_vars(self) -> FrozenSet[str]:
+    _intern: Dict[Rep, "TypeKind"] = {}
+
+    def __new__(cls, rep: Rep) -> "TypeKind":
+        if isinstance(rep, RepVar):
+            # ``TYPE ρ`` kinds of fresh unification variables are unique by
+            # construction; interning them would force the variable's lazily
+            # formatted name on the hot path for no sharing gain.
+            instance = object.__new__(cls)
+            instance._init_caches()
+            instance.rep = rep
+            return instance
+        instance = cls._intern.get(rep)
+        if instance is None:
+            instance = object.__new__(cls)
+            instance._init_caches()
+            instance.rep = rep
+            cls._intern[rep] = instance
+        return instance
+
+    def __init__(self, rep: Rep) -> None:
+        pass
+
+    def _compute_free_rep_vars(self) -> FrozenSet[str]:
         return self.rep.free_rep_vars()
 
-    def free_kind_vars(self) -> FrozenSet[str]:
-        return frozenset()
+    def _compute_free_kind_vars(self) -> FrozenSet[str]:
+        return _EMPTY_NAMES
 
     def substitute_reps(self, mapping: Dict[str, Rep]) -> Kind:
+        if not mapping or self.free_rep_vars().isdisjoint(mapping):
+            return self
         return TypeKind(self.rep.substitute(mapping))
 
     def substitute_kinds(self, mapping: Dict[str, Kind]) -> Kind:
@@ -87,6 +146,16 @@ class TypeKind(Kind):
     def is_lifted_type_kind(self) -> bool:
         """Is this exactly ``Type`` (that is, ``TYPE LiftedRep``)?"""
         return self.rep == LIFTED
+
+    def _compute_hash(self) -> int:
+        return hash(("TypeKind", self.rep))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return type(other) is TypeKind and self.rep == other.rep
+
+    __hash__ = Kind.__hash__
 
     def pretty(self, explicit_runtime_reps: bool = True) -> str:
         if self.rep == LIFTED:
@@ -99,26 +168,56 @@ class TypeKind(Kind):
         return f"TYPE {self.rep.pretty()}"
 
 
-@dataclass(frozen=True)
 class ArrowKind(Kind):
     """The kind of type constructors: ``k1 -> k2``."""
 
-    argument: Kind
-    result: Kind
+    __slots__ = ("argument", "result")
 
-    def free_rep_vars(self) -> FrozenSet[str]:
+    _intern: Dict[Tuple[Kind, Kind], "ArrowKind"] = {}
+
+    def __new__(cls, argument: Kind, result: Kind) -> "ArrowKind":
+        key = (argument, result)
+        instance = cls._intern.get(key)
+        if instance is None:
+            instance = object.__new__(cls)
+            instance._init_caches()
+            instance.argument = argument
+            instance.result = result
+            cls._intern[key] = instance
+        return instance
+
+    def __init__(self, argument: Kind, result: Kind) -> None:
+        pass
+
+    def _compute_free_rep_vars(self) -> FrozenSet[str]:
         return self.argument.free_rep_vars() | self.result.free_rep_vars()
 
-    def free_kind_vars(self) -> FrozenSet[str]:
+    def _compute_free_kind_vars(self) -> FrozenSet[str]:
         return self.argument.free_kind_vars() | self.result.free_kind_vars()
 
     def substitute_reps(self, mapping: Dict[str, Rep]) -> Kind:
+        if not mapping or self.free_rep_vars().isdisjoint(mapping):
+            return self
         return ArrowKind(self.argument.substitute_reps(mapping),
                          self.result.substitute_reps(mapping))
 
     def substitute_kinds(self, mapping: Dict[str, Kind]) -> Kind:
+        if not mapping or self.free_kind_vars().isdisjoint(mapping):
+            return self
         return ArrowKind(self.argument.substitute_kinds(mapping),
                          self.result.substitute_kinds(mapping))
+
+    def _compute_hash(self) -> int:
+        return hash(("ArrowKind", self.argument, self.result))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (type(other) is ArrowKind
+                and self.argument == other.argument
+                and self.result == other.result)
+
+    __hash__ = Kind.__hash__
 
     def pretty(self, explicit_runtime_reps: bool = True) -> str:
         arg = self.argument.pretty(explicit_runtime_reps)
@@ -127,15 +226,26 @@ class ArrowKind(Kind):
         return f"{arg} -> {self.result.pretty(explicit_runtime_reps)}"
 
 
-@dataclass(frozen=True)
-class ConstraintKind(Kind):
-    """The kind ``Constraint`` of class constraints such as ``Num a``."""
+class _NullaryKind(Kind):
+    """Shared implementation for kinds with no sub-structure (singletons)."""
 
-    def free_rep_vars(self) -> FrozenSet[str]:
-        return frozenset()
+    __slots__ = ()
 
-    def free_kind_vars(self) -> FrozenSet[str]:
-        return frozenset()
+    _PRETTY = "?"
+
+    def __new__(cls) -> "_NullaryKind":
+        instance = cls.__dict__.get("_instance")
+        if instance is None:
+            instance = object.__new__(cls)
+            instance._init_caches()
+            cls._instance = instance
+        return instance
+
+    def _compute_free_rep_vars(self) -> FrozenSet[str]:
+        return _EMPTY_NAMES
+
+    def _compute_free_kind_vars(self) -> FrozenSet[str]:
+        return _EMPTY_NAMES
 
     def substitute_reps(self, mapping: Dict[str, Rep]) -> Kind:
         return self
@@ -143,12 +253,26 @@ class ConstraintKind(Kind):
     def substitute_kinds(self, mapping: Dict[str, Kind]) -> Kind:
         return self
 
+    def _compute_hash(self) -> int:
+        return hash(type(self).__qualname__)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other or type(self) is type(other)
+
+    __hash__ = Kind.__hash__
+
     def pretty(self, explicit_runtime_reps: bool = True) -> str:
-        return "Constraint"
+        return self._PRETTY
 
 
-@dataclass(frozen=True)
-class RepKind(Kind):
+class ConstraintKind(_NullaryKind):
+    """The kind ``Constraint`` of class constraints such as ``Num a``."""
+
+    __slots__ = ()
+    _PRETTY = "Constraint"
+
+
+class RepKind(_NullaryKind):
     """The kind ``Rep`` itself, so that ``r :: Rep`` can appear in contexts.
 
     ``Rep`` is an ordinary promoted data type in GHC (Section 4.1); here we
@@ -156,40 +280,78 @@ class RepKind(Kind):
     ``forall (r :: Rep).`` explicitly.
     """
 
-    def free_rep_vars(self) -> FrozenSet[str]:
-        return frozenset()
-
-    def free_kind_vars(self) -> FrozenSet[str]:
-        return frozenset()
-
-    def substitute_reps(self, mapping: Dict[str, Rep]) -> Kind:
-        return self
-
-    def substitute_kinds(self, mapping: Dict[str, Kind]) -> Kind:
-        return self
-
-    def pretty(self, explicit_runtime_reps: bool = True) -> str:
-        return "Rep"
+    __slots__ = ()
+    _PRETTY = "Rep"
 
 
-@dataclass(frozen=True)
 class KindVar(Kind):
     """A kind variable, used by kind polymorphism in the surface language."""
 
-    name: str
-    unification: bool = False
+    __slots__ = ("_name", "unification", "_fresh_id", "_fresh_prefix")
 
-    def free_rep_vars(self) -> FrozenSet[str]:
-        return frozenset()
+    _intern: Dict[Tuple[str, bool], "KindVar"] = {}
 
-    def free_kind_vars(self) -> FrozenSet[str]:
+    def __new__(cls, name: str, unification: bool = False) -> "KindVar":
+        key = (name, unification)
+        instance = cls._intern.get(key)
+        if instance is None:
+            instance = object.__new__(cls)
+            instance._init_caches()
+            instance._name = name
+            instance.unification = unification
+            instance._fresh_id = None
+            instance._fresh_prefix = None
+            cls._intern[key] = instance
+        return instance
+
+    def __init__(self, name: str = "", unification: bool = False) -> None:
+        pass
+
+    @classmethod
+    def _fresh(cls, uid: int, prefix: str,
+               unification: bool = True) -> "KindVar":
+        """A fresh variable whose name ``f"{prefix}{uid}"`` is formatted lazily."""
+        instance = object.__new__(cls)
+        instance._init_caches()
+        instance._name = None
+        instance.unification = unification
+        instance._fresh_id = uid
+        instance._fresh_prefix = prefix
+        return instance
+
+    @property
+    def name(self) -> str:
+        name = self._name
+        if name is None:
+            name = f"{self._fresh_prefix}{self._fresh_id}"
+            self._name = name
+        return name
+
+    def _compute_free_rep_vars(self) -> FrozenSet[str]:
+        return _EMPTY_NAMES
+
+    def _compute_free_kind_vars(self) -> FrozenSet[str]:
         return frozenset({self.name})
 
     def substitute_reps(self, mapping: Dict[str, Rep]) -> Kind:
         return self
 
     def substitute_kinds(self, mapping: Dict[str, Kind]) -> Kind:
+        if not mapping:
+            return self
         return mapping.get(self.name, self)
+
+    def _compute_hash(self) -> int:
+        return hash((self.name, self.unification))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (type(other) is KindVar
+                and self.unification == other.unification
+                and self.name == other.name)
+
+    __hash__ = Kind.__hash__
 
     def pretty(self, explicit_runtime_reps: bool = True) -> str:
         return self.name
@@ -240,7 +402,7 @@ _kind_var_counter = itertools.count()
 
 def fresh_kind_var(prefix: str = "k") -> KindVar:
     """A fresh kind unification variable."""
-    return KindVar(f"{prefix}{next(_kind_var_counter)}", unification=True)
+    return KindVar._fresh(next(_kind_var_counter), prefix)
 
 
 def kind_of_type_constructor(arity: int, result: Kind = TYPE_LIFTED) -> Kind:

@@ -23,14 +23,22 @@ abstracts over.  A representation is *concrete* (the paper's metavariable
 ``υ``) when no representation variable occurs inside it; only concrete
 representations may appear in the kind of a binder or a function argument
 (Section 5.1).
+
+Performance notes (see ``docs/PERF.md``): representations are **hash-consed**
+— constructing a structurally-equal ``Rep`` twice yields the *same* Python
+object, so ``==`` usually short-circuits on identity and nodes can be used
+as dictionary keys with a cached hash.  ``free_rep_vars`` and
+``register_shape`` are computed once per node and memoised on the instance.
+Instances are immutable by convention: never assign to their fields.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Tuple
+
+_EMPTY_NAMES: "frozenset[str]" = frozenset()
 
 
 class RegisterClass(Enum):
@@ -61,7 +69,12 @@ class Rep:
     and :class:`RepVar`.
     """
 
-    __slots__ = ()
+    __slots__ = ("_hash", "_free", "_shape")
+
+    def _init_caches(self) -> None:
+        self._hash = None
+        self._free = None
+        self._shape = None
 
     # -- classification -----------------------------------------------------
 
@@ -90,6 +103,13 @@ class Rep:
 
     def free_rep_vars(self) -> "frozenset[str]":
         """The set of representation-variable names occurring in this rep."""
+        free = self._free
+        if free is None:
+            free = self._compute_free_rep_vars()
+            self._free = free
+        return free
+
+    def _compute_free_rep_vars(self) -> "frozenset[str]":
         raise NotImplementedError
 
     def substitute(self, mapping: Dict[str, "Rep"]) -> "Rep":
@@ -113,6 +133,13 @@ class Rep:
         whole point of the Section 5.1 restrictions is that code generation
         never needs the register shape of a levity-polymorphic value.
         """
+        shape = self._shape
+        if shape is None:
+            shape = self._compute_register_shape()
+            self._shape = shape
+        return shape
+
+    def _compute_register_shape(self) -> Tuple[RegisterClass, ...]:
         raise NotImplementedError
 
     def register_count(self) -> int:
@@ -129,6 +156,18 @@ class Rep:
         }
         return sum(widths[r] for r in self.register_shape())
 
+    # -- hashing / equality ---------------------------------------------------
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = self._compute_hash()
+            self._hash = h
+        return h
+
+    def _compute_hash(self) -> int:
+        raise NotImplementedError
+
     # -- misc ---------------------------------------------------------------
 
     def __repr__(self) -> str:
@@ -138,14 +177,35 @@ class Rep:
         raise NotImplementedError
 
 
-@dataclass(frozen=True)
 class _NullaryRep(Rep):
-    """Shared implementation for representations with no sub-structure."""
+    """Shared implementation for representations with no sub-structure.
+
+    Each subclass is a hash-consed singleton: ``LiftedRep() is LiftedRep()``.
+    """
 
     __slots__ = ()
 
-    def free_rep_vars(self) -> "frozenset[str]":
-        return frozenset()
+    _BOXED = False
+    _LIFTED = False
+    _PRETTY = "?"
+    _SHAPE: Tuple[RegisterClass, ...] = ()
+
+    def __new__(cls) -> "_NullaryRep":
+        instance = cls.__dict__.get("_instance")
+        if instance is None:
+            instance = object.__new__(cls)
+            instance._init_caches()
+            cls._instance = instance
+        return instance
+
+    def is_boxed(self) -> bool:
+        return self._BOXED
+
+    def is_lifted(self) -> bool:
+        return self._LIFTED
+
+    def _compute_free_rep_vars(self) -> "frozenset[str]":
+        return _EMPTY_NAMES
 
     def substitute(self, mapping: Dict[str, Rep]) -> Rep:
         return self
@@ -153,160 +213,89 @@ class _NullaryRep(Rep):
     def zonk(self, lookup) -> Rep:
         return self
 
+    def _compute_register_shape(self) -> Tuple[RegisterClass, ...]:
+        return self._SHAPE
 
-@dataclass(frozen=True)
+    def _compute_hash(self) -> int:
+        return hash(type(self).__qualname__)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other or type(self) is type(other)
+
+    __hash__ = Rep.__hash__
+
+    def pretty(self) -> str:
+        return self._PRETTY
+
+
 class LiftedRep(_NullaryRep):
     """Boxed, lifted values: ordinary Haskell data such as ``Int``, ``Bool``."""
 
     __slots__ = ()
-
-    def is_boxed(self) -> bool:
-        return True
-
-    def is_lifted(self) -> bool:
-        return True
-
-    def register_shape(self) -> Tuple[RegisterClass, ...]:
-        return (RegisterClass.GC_POINTER,)
-
-    def pretty(self) -> str:
-        return "LiftedRep"
+    _BOXED = True
+    _LIFTED = True
+    _PRETTY = "LiftedRep"
+    _SHAPE = (RegisterClass.GC_POINTER,)
 
 
-@dataclass(frozen=True)
 class UnliftedRep(_NullaryRep):
     """Boxed but unlifted values such as ``ByteArray#`` or ``Array# a``."""
 
     __slots__ = ()
-
-    def is_boxed(self) -> bool:
-        return True
-
-    def is_lifted(self) -> bool:
-        return False
-
-    def register_shape(self) -> Tuple[RegisterClass, ...]:
-        return (RegisterClass.GC_POINTER,)
-
-    def pretty(self) -> str:
-        return "UnliftedRep"
+    _BOXED = True
+    _LIFTED = False
+    _PRETTY = "UnliftedRep"
+    _SHAPE = (RegisterClass.GC_POINTER,)
 
 
-@dataclass(frozen=True)
 class IntRep(_NullaryRep):
     """Unboxed machine integers (``Int#``)."""
 
     __slots__ = ()
-
-    def is_boxed(self) -> bool:
-        return False
-
-    def is_lifted(self) -> bool:
-        return False
-
-    def register_shape(self) -> Tuple[RegisterClass, ...]:
-        return (RegisterClass.INTEGER,)
-
-    def pretty(self) -> str:
-        return "IntRep"
+    _PRETTY = "IntRep"
+    _SHAPE = (RegisterClass.INTEGER,)
 
 
-@dataclass(frozen=True)
 class WordRep(_NullaryRep):
     """Unboxed machine words (``Word#``)."""
 
     __slots__ = ()
-
-    def is_boxed(self) -> bool:
-        return False
-
-    def is_lifted(self) -> bool:
-        return False
-
-    def register_shape(self) -> Tuple[RegisterClass, ...]:
-        return (RegisterClass.INTEGER,)
-
-    def pretty(self) -> str:
-        return "WordRep"
+    _PRETTY = "WordRep"
+    _SHAPE = (RegisterClass.INTEGER,)
 
 
-@dataclass(frozen=True)
 class CharRep(_NullaryRep):
     """Unboxed characters (``Char#``)."""
 
     __slots__ = ()
-
-    def is_boxed(self) -> bool:
-        return False
-
-    def is_lifted(self) -> bool:
-        return False
-
-    def register_shape(self) -> Tuple[RegisterClass, ...]:
-        return (RegisterClass.INTEGER,)
-
-    def pretty(self) -> str:
-        return "CharRep"
+    _PRETTY = "CharRep"
+    _SHAPE = (RegisterClass.INTEGER,)
 
 
-@dataclass(frozen=True)
 class AddrRep(_NullaryRep):
     """Raw machine addresses (``Addr#``), not followed by the GC."""
 
     __slots__ = ()
-
-    def is_boxed(self) -> bool:
-        return False
-
-    def is_lifted(self) -> bool:
-        return False
-
-    def register_shape(self) -> Tuple[RegisterClass, ...]:
-        return (RegisterClass.INTEGER,)
-
-    def pretty(self) -> str:
-        return "AddrRep"
+    _PRETTY = "AddrRep"
+    _SHAPE = (RegisterClass.INTEGER,)
 
 
-@dataclass(frozen=True)
 class FloatRep(_NullaryRep):
     """Unboxed single-precision floats (``Float#``)."""
 
     __slots__ = ()
-
-    def is_boxed(self) -> bool:
-        return False
-
-    def is_lifted(self) -> bool:
-        return False
-
-    def register_shape(self) -> Tuple[RegisterClass, ...]:
-        return (RegisterClass.FLOAT,)
-
-    def pretty(self) -> str:
-        return "FloatRep"
+    _PRETTY = "FloatRep"
+    _SHAPE = (RegisterClass.FLOAT,)
 
 
-@dataclass(frozen=True)
 class DoubleRep(_NullaryRep):
     """Unboxed double-precision floats (``Double#``)."""
 
     __slots__ = ()
-
-    def is_boxed(self) -> bool:
-        return False
-
-    def is_lifted(self) -> bool:
-        return False
-
-    def register_shape(self) -> Tuple[RegisterClass, ...]:
-        return (RegisterClass.DOUBLE,)
-
-    def pretty(self) -> str:
-        return "DoubleRep"
+    _PRETTY = "DoubleRep"
+    _SHAPE = (RegisterClass.DOUBLE,)
 
 
-@dataclass(frozen=True)
 class TupleRep(Rep):
     """Unboxed tuples: a value spread over several registers (Section 4.2).
 
@@ -314,12 +303,23 @@ class TupleRep(Rep):
     ``(# #)``, which occupies no registers at all.
     """
 
-    reps: Tuple[Rep, ...]
-
     __slots__ = ("reps",)
 
+    _intern: Dict[Tuple[Rep, ...], "TupleRep"] = {}
+
+    def __new__(cls, reps: Iterable[Rep] = ()) -> "TupleRep":
+        key = tuple(reps)
+        instance = cls._intern.get(key)
+        if instance is None:
+            instance = object.__new__(cls)
+            instance._init_caches()
+            instance.reps = key
+            cls._intern[key] = instance
+        return instance
+
     def __init__(self, reps: Iterable[Rep] = ()) -> None:
-        object.__setattr__(self, "reps", tuple(reps))
+        # All state is set in __new__ (hash-consing); nothing to do here.
+        pass
 
     def is_boxed(self) -> bool:
         return False
@@ -327,19 +327,23 @@ class TupleRep(Rep):
     def is_lifted(self) -> bool:
         return False
 
-    def free_rep_vars(self) -> "frozenset[str]":
-        out: frozenset[str] = frozenset()
+    def _compute_free_rep_vars(self) -> "frozenset[str]":
+        out: "frozenset[str]" = _EMPTY_NAMES
         for rep in self.reps:
             out = out | rep.free_rep_vars()
         return out
 
     def substitute(self, mapping: Dict[str, Rep]) -> Rep:
+        if not mapping or self.free_rep_vars().isdisjoint(mapping):
+            return self
         return TupleRep(rep.substitute(mapping) for rep in self.reps)
 
     def zonk(self, lookup) -> Rep:
+        if not self.free_rep_vars():
+            return self
         return TupleRep(rep.zonk(lookup) for rep in self.reps)
 
-    def register_shape(self) -> Tuple[RegisterClass, ...]:
+    def _compute_register_shape(self) -> Tuple[RegisterClass, ...]:
         shape: List[RegisterClass] = []
         for rep in self.reps:
             shape.extend(rep.register_shape())
@@ -363,12 +367,21 @@ class TupleRep(Rep):
                 flat.append(rep)
         return TupleRep(flat)
 
+    def _compute_hash(self) -> int:
+        return hash(("TupleRep", self.reps))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return type(other) is TupleRep and self.reps == other.reps
+
+    __hash__ = Rep.__hash__
+
     def pretty(self) -> str:
         inner = ", ".join(rep.pretty() for rep in self.reps)
         return f"TupleRep [{inner}]"
 
 
-@dataclass(frozen=True)
 class SumRep(Rep):
     """Unboxed sums (``(# a | b #)``): one tag register plus the slot union.
 
@@ -378,12 +391,22 @@ class SumRep(Rep):
     (computed field-by-field as the per-class maximum).
     """
 
-    alternatives: Tuple[Rep, ...]
-
     __slots__ = ("alternatives",)
 
+    _intern: Dict[Tuple[Rep, ...], "SumRep"] = {}
+
+    def __new__(cls, alternatives: Iterable[Rep] = ()) -> "SumRep":
+        key = tuple(alternatives)
+        instance = cls._intern.get(key)
+        if instance is None:
+            instance = object.__new__(cls)
+            instance._init_caches()
+            instance.alternatives = key
+            cls._intern[key] = instance
+        return instance
+
     def __init__(self, alternatives: Iterable[Rep] = ()) -> None:
-        object.__setattr__(self, "alternatives", tuple(alternatives))
+        pass
 
     def is_boxed(self) -> bool:
         return False
@@ -391,19 +414,23 @@ class SumRep(Rep):
     def is_lifted(self) -> bool:
         return False
 
-    def free_rep_vars(self) -> "frozenset[str]":
-        out: frozenset[str] = frozenset()
+    def _compute_free_rep_vars(self) -> "frozenset[str]":
+        out: "frozenset[str]" = _EMPTY_NAMES
         for rep in self.alternatives:
             out = out | rep.free_rep_vars()
         return out
 
     def substitute(self, mapping: Dict[str, Rep]) -> Rep:
+        if not mapping or self.free_rep_vars().isdisjoint(mapping):
+            return self
         return SumRep(rep.substitute(mapping) for rep in self.alternatives)
 
     def zonk(self, lookup) -> Rep:
+        if not self.free_rep_vars():
+            return self
         return SumRep(rep.zonk(lookup) for rep in self.alternatives)
 
-    def register_shape(self) -> Tuple[RegisterClass, ...]:
+    def _compute_register_shape(self) -> Tuple[RegisterClass, ...]:
         counts: Dict[RegisterClass, int] = {}
         for rep in self.alternatives:
             per_alt: Dict[RegisterClass, int] = {}
@@ -417,12 +444,21 @@ class SumRep(Rep):
             shape.extend([reg] * counts.get(reg, 0))
         return tuple(shape)
 
+    def _compute_hash(self) -> int:
+        return hash(("SumRep", self.alternatives))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return type(other) is SumRep and self.alternatives == other.alternatives
+
+    __hash__ = Rep.__hash__
+
     def pretty(self) -> str:
         inner = " | ".join(rep.pretty() for rep in self.alternatives)
         return f"SumRep [{inner}]"
 
 
-@dataclass(frozen=True)
 class RepVar(Rep):
     """A representation variable ``r`` — the thing levity polymorphism binds.
 
@@ -430,10 +466,51 @@ class RepVar(Rep):
     the user) variable or a *unification* variable invented by the inference
     engine (Section 5.2).  The distinction matters only to the inference
     engine; structurally they behave identically.
+
+    Fresh unification variables made by :meth:`_fresh` carry an integer id
+    and format their name **lazily**: variables that are never printed,
+    hashed or unified never allocate a name string at all.
     """
 
-    name: str
-    unification: bool = False
+    __slots__ = ("_name", "unification", "_fresh_id", "_fresh_prefix")
+
+    _intern: Dict[Tuple[str, bool], "RepVar"] = {}
+
+    def __new__(cls, name: str, unification: bool = False) -> "RepVar":
+        key = (name, unification)
+        instance = cls._intern.get(key)
+        if instance is None:
+            instance = object.__new__(cls)
+            instance._init_caches()
+            instance._name = name
+            instance.unification = unification
+            instance._fresh_id = None
+            instance._fresh_prefix = None
+            cls._intern[key] = instance
+        return instance
+
+    def __init__(self, name: str = "", unification: bool = False) -> None:
+        pass
+
+    @classmethod
+    def _fresh(cls, uid: int, prefix: str,
+               unification: bool = True) -> "RepVar":
+        """A fresh variable whose name ``f"{prefix}{uid}"`` is formatted lazily."""
+        instance = object.__new__(cls)
+        instance._init_caches()
+        instance._name = None
+        instance.unification = unification
+        instance._fresh_id = uid
+        instance._fresh_prefix = prefix
+        return instance
+
+    @property
+    def name(self) -> str:
+        name = self._name
+        if name is None:
+            name = f"{self._fresh_prefix}{self._fresh_id}"
+            self._name = name
+        return name
 
     def is_boxed(self) -> bool:
         raise ValueError(
@@ -447,10 +524,12 @@ class RepVar(Rep):
             "one should never ask whether a levity-polymorphic type is lazy"
         )
 
-    def free_rep_vars(self) -> "frozenset[str]":
+    def _compute_free_rep_vars(self) -> "frozenset[str]":
         return frozenset({self.name})
 
     def substitute(self, mapping: Dict[str, Rep]) -> Rep:
+        if not mapping:
+            return self
         return mapping.get(self.name, self)
 
     def zonk(self, lookup) -> Rep:
@@ -459,18 +538,34 @@ class RepVar(Rep):
             return self
         return solved.zonk(lookup)
 
-    def register_shape(self) -> Tuple[RegisterClass, ...]:
+    def _compute_register_shape(self) -> Tuple[RegisterClass, ...]:
         raise ValueError(
             f"cannot compute a register shape for representation variable "
             f"{self.name!r}: its calling convention is unknown (Section 5.1)"
         )
 
+    def register_shape(self) -> Tuple[RegisterClass, ...]:
+        # Never cache: this always raises.
+        return self._compute_register_shape()
+
+    def _compute_hash(self) -> int:
+        return hash((self.name, self.unification))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (type(other) is RepVar
+                and self.unification == other.unification
+                and self.name == other.name)
+
+    __hash__ = Rep.__hash__
+
     def pretty(self) -> str:
         return self.name
 
 
-# Canonical singletons.  The dataclasses are frozen and contain no state, so
-# sharing instances is safe and keeps equality checks cheap and readable.
+# Canonical singletons.  The classes are hash-consed, so these are *the*
+# unique instances: equality on them is pointer equality.
 LIFTED = LiftedRep()
 UNLIFTED = UnliftedRep()
 INT_REP = IntRep()
@@ -487,7 +582,7 @@ _rep_var_counter = itertools.count()
 
 def fresh_rep_var(prefix: str = "r") -> RepVar:
     """Create a fresh representation unification variable (Section 5.2)."""
-    return RepVar(f"{prefix}{next(_rep_var_counter)}", unification=True)
+    return RepVar._fresh(next(_rep_var_counter), prefix)
 
 
 def same_calling_convention(rep1: Rep, rep2: Rep) -> bool:

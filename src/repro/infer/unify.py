@@ -16,28 +16,47 @@ unification does the rest.  This module provides exactly that machinery:
   zonked types).
 
 In GHC the solutions live in mutable cells inside the variables themselves;
-here they live in explicit dictionaries, which keeps the type ASTs immutable
-and makes the tests easier to write, but the observable behaviour is the
-same.
+here they live in an explicit store, which keeps the type ASTs immutable and
+makes the tests easier to write, but the observable behaviour is the same.
+
+**Solver architecture** (see ``docs/PERF.md`` for the full story).  The
+original seed implementation kept one ``{name: term}`` dictionary per
+variable sort and re-zonked both sides of every ``unify_*`` call, which is
+quadratic on variable→variable solution chains.  The production solver
+instead uses, per sort:
+
+* a **union-find** forest with iterative path compression and union by rank,
+  so a chain ``α0 ~ α1 ~ … ~ αn`` collapses to a single equivalence class
+  with near-O(α) ``find``;
+* a **solution table keyed on class roots** mapping each solved class to its
+  (non-variable) solution term;
+* **head resolution** instead of up-front zonking: ``unify_*`` walk the two
+  terms with an explicit worklist, resolving only the *head* of each subterm,
+  so no recursion depth is consumed by either solution chains or deep
+  structural spines;
+* **memoised zonking** over the hash-consed term graph, invalidated by a
+  store version counter, with an inertness fast path: a term containing no
+  unification variables touched by this state zonks to itself.
+
+Fresh variables are numbered from a per-state integer counter shared by all
+three sorts (matching the seed's name sequence) and format their user-facing
+name lazily, so ``fresh_*`` allocates no strings.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..core.errors import OccursCheckError, UnificationError
 from ..core.kinds import (
     ArrowKind,
-    ConstraintKind,
     Kind,
     KindVar,
-    RepKind,
     TypeKind,
 )
-from ..core.rep import LIFTED, Rep, RepVar, SumRep, TupleRep
+from ..core.rep import Rep, RepVar, SumRep, TupleRep
 from ..surface.types import (
+    ClassConstraint,
     ForAllTy,
     FunTy,
     QualTy,
@@ -47,30 +66,181 @@ from ..surface.types import (
     TyUVar,
     TyVar,
     UnboxedTupleTy,
+    kind_of_type,
 )
 
 
-@dataclass
+class UnifierStats:
+    """Operation counters for the solver — exported into ``BENCH_perf.json``."""
+
+    __slots__ = ("unify_types_calls", "unify_reps_calls", "unify_kinds_calls",
+                 "type_bindings", "rep_bindings", "kind_bindings",
+                 "finds", "unions", "occurs_checks",
+                 "zonk_memo_hits", "zonk_memo_misses")
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"UnifierStats({inner})"
+
+
+class _UnionFind:
+    """Union-find over variable names: iterative path compression, rank union."""
+
+    __slots__ = ("parent", "rank", "stats")
+
+    def __init__(self, stats: UnifierStats) -> None:
+        self.parent: Dict[str, str] = {}
+        self.rank: Dict[str, int] = {}
+        self.stats = stats
+
+    def find(self, name: str) -> str:
+        parent = self.parent
+        root = name
+        while True:
+            up = parent.get(root)
+            if up is None:
+                break
+            root = up
+        # Second pass: point every node on the path straight at the root.
+        while name != root:
+            up = parent[name]
+            parent[name] = root
+            name = up
+        self.stats.finds += 1
+        return root
+
+    def union(self, root1: str, root2: str) -> str:
+        """Merge two distinct class roots; returns the surviving root."""
+        rank = self.rank
+        r1 = rank.get(root1, 0)
+        r2 = rank.get(root2, 0)
+        if r1 < r2:
+            root1, root2 = root2, root1
+        self.parent[root2] = root1
+        if r1 == r2:
+            rank[root1] = r1 + 1
+        self.stats.unions += 1
+        return root1
+
+
+class _SolutionView:
+    """Dict-like, union-find-aware view of one sort's solutions.
+
+    Kept for API compatibility with the seed solver, whose per-sort solution
+    dictionaries were plain ``{name: term}`` attributes (``defaulting.py``
+    and external callers read and write them).  Lookups resolve the name to
+    its class root first, so a variable that was unified into a solved class
+    correctly reports that solution.
+    """
+
+    __slots__ = ("_uf", "_sols", "_state")
+
+    def __init__(self, uf: _UnionFind, sols: Dict[str, object],
+                 state: "UnifierState") -> None:
+        self._uf = uf
+        self._sols = sols
+        self._state = state
+
+    def get(self, name: str, default=None):
+        return self._sols.get(self._uf.find(name), default)
+
+    def __contains__(self, name: str) -> bool:
+        return self._uf.find(name) in self._sols
+
+    def __getitem__(self, name: str):
+        value = self.get(name)
+        if value is None:
+            raise KeyError(name)
+        return value
+
+    def __setitem__(self, name: str, term) -> None:
+        self._sols[self._uf.find(name)] = term
+        self._state._version += 1
+
+    def __len__(self) -> int:
+        return len(self._sols)
+
+    def __iter__(self):
+        return iter(self._sols)
+
+    def __bool__(self) -> bool:
+        return bool(self._sols)
+
+
 class UnifierState:
     """Mutable solver state: solutions for all three sorts of variables."""
 
-    type_solutions: Dict[str, SType] = field(default_factory=dict)
-    rep_solutions: Dict[str, Rep] = field(default_factory=dict)
-    kind_solutions: Dict[str, Kind] = field(default_factory=dict)
-    rep_uvar_names: set = field(default_factory=set)
-    _counter: "itertools.count" = field(default_factory=itertools.count)
+    __slots__ = ("stats", "_next_id", "_version", "_memo_version",
+                 "_tuf", "_ruf", "_kuf",
+                 "_type_sol", "_rep_sol", "_kind_sol",
+                 "_type_vars", "_rep_vars", "_kind_vars",
+                 "_pending_rep_uvars", "_rep_uvar_names",
+                 "_zonk_type_memo", "_zonk_kind_memo", "_zonk_rep_memo",
+                 "type_solutions", "rep_solutions", "kind_solutions")
+
+    def __init__(self) -> None:
+        self.stats = UnifierStats()
+        self._next_id = 0
+        self._version = 0
+        self._memo_version = 0
+        self._tuf = _UnionFind(self.stats)
+        self._ruf = _UnionFind(self.stats)
+        self._kuf = _UnionFind(self.stats)
+        #: Class root -> non-variable solution term, per sort.
+        self._type_sol: Dict[str, SType] = {}
+        self._rep_sol: Dict[str, Rep] = {}
+        self._kind_sol: Dict[str, Kind] = {}
+        #: Name -> variable object, for picking class representatives.
+        self._type_vars: Dict[str, TyUVar] = {}
+        self._rep_vars: Dict[str, RepVar] = {}
+        self._kind_vars: Dict[str, KindVar] = {}
+        #: Fresh rep uvars whose (lazily formatted) names are not yet in the
+        #: name set; flushed on the first is_rep_uvar query.
+        self._pending_rep_uvars: List[RepVar] = []
+        self._rep_uvar_names: Set[str] = set()
+        self._zonk_type_memo: Dict[SType, SType] = {}
+        self._zonk_kind_memo: Dict[Kind, Kind] = {}
+        self._zonk_rep_memo: Dict[Rep, Rep] = {}
+        # Seed-compatible dict-like views of the solution stores.
+        self.type_solutions = _SolutionView(self._tuf, self._type_sol, self)
+        self.rep_solutions = _SolutionView(self._ruf, self._rep_sol, self)
+        self.kind_solutions = _SolutionView(self._kuf, self._kind_sol, self)
 
     # -- fresh variables -----------------------------------------------------
 
+    def _fresh_id(self) -> int:
+        uid = self._next_id
+        self._next_id = uid + 1
+        return uid
+
     def fresh_rep_uvar(self, prefix: str = "rho") -> RepVar:
         """A fresh representation unification variable ``ρ``."""
-        var = RepVar(f"{prefix}{next(self._counter)}", unification=True)
-        self.rep_uvar_names.add(var.name)
+        var = RepVar._fresh(self._fresh_id(), prefix)
+        self._pending_rep_uvars.append(var)
         return var
 
     def is_rep_uvar(self, name: str) -> bool:
         """Was ``name`` created by :meth:`fresh_rep_uvar` (vs. a rigid var)?"""
-        return name in self.rep_uvar_names
+        return name in self._rep_uvar_name_set()
+
+    def _rep_uvar_name_set(self) -> Set[str]:
+        pending = self._pending_rep_uvars
+        if pending:
+            self._rep_uvar_names.update(var.name for var in pending)
+            pending.clear()
+        return self._rep_uvar_names
+
+    @property
+    def rep_uvar_names(self) -> Set[str]:
+        """Names of every rep unification variable this state invented."""
+        return self._rep_uvar_name_set()
 
     def fresh_type_uvar(self, kind: Optional[Kind] = None,
                         prefix: str = "alpha") -> TyUVar:
@@ -81,100 +251,322 @@ class UnifierState:
         """
         if kind is None:
             kind = TypeKind(self.fresh_rep_uvar())
-        return TyUVar(f"{prefix}{next(self._counter)}", kind)
+        return TyUVar._fresh(self._fresh_id(), prefix, kind)
 
     def fresh_kind_uvar(self, prefix: str = "kappa") -> KindVar:
-        return KindVar(f"{prefix}{next(self._counter)}", unification=True)
+        return KindVar._fresh(self._fresh_id(), prefix)
+
+    # -- memo management -------------------------------------------------------
+
+    def _sync_memo(self) -> None:
+        if self._memo_version != self._version:
+            self._zonk_type_memo.clear()
+            self._zonk_kind_memo.clear()
+            self._zonk_rep_memo.clear()
+            self._memo_version = self._version
+
+    def _names_inert_rep(self, names: FrozenSet[str]) -> bool:
+        """No name in ``names`` was unioned or solved at the rep sort."""
+        parent = self._ruf.parent
+        sols = self._rep_sol
+        for name in names:
+            if name in parent or name in sols:
+                return False
+        return True
+
+    def _kinds_inert(self) -> bool:
+        """No kind variable was ever unioned or solved by this state."""
+        return not self._kind_sol and not self._kuf.parent
 
     # -- zonking ---------------------------------------------------------------
 
     def zonk_rep(self, rep: Rep) -> Rep:
         """Replace solved representation variables by their solutions."""
-        return rep.zonk(self.rep_solutions.get)
+        self._sync_memo()
+        return self._zonk_rep(rep)
+
+    def _zonk_rep(self, rep: Rep) -> Rep:
+        if isinstance(rep, RepVar):
+            if not rep.unification:
+                return rep
+            name = rep.name
+            root = (name if name not in self._ruf.parent
+                    else self._ruf.find(name))
+            solution = self._rep_sol.get(root)
+            if solution is not None:
+                return self._zonk_rep(solution)
+            if root == rep.name:
+                return rep
+            return self._rep_vars[root]
+        free = rep.free_rep_vars()
+        if not free or self._names_inert_rep(free):
+            return rep
+        memo = self._zonk_rep_memo
+        out = memo.get(rep)
+        if out is not None:
+            self.stats.zonk_memo_hits += 1
+            return out
+        self.stats.zonk_memo_misses += 1
+        if isinstance(rep, TupleRep):
+            out = TupleRep(self._zonk_rep(r) for r in rep.reps)
+        elif isinstance(rep, SumRep):
+            out = SumRep(self._zonk_rep(r) for r in rep.alternatives)
+        else:  # pragma: no cover - no other compound reps exist
+            out = rep
+        memo[rep] = out
+        return out
 
     def zonk_kind(self, kind: Kind) -> Kind:
+        self._sync_memo()
+        return self._zonk_kind(kind)
+
+    def _zonk_kind(self, kind: Kind) -> Kind:
         if isinstance(kind, TypeKind):
-            return TypeKind(self.zonk_rep(kind.rep))
-        if isinstance(kind, ArrowKind):
-            return ArrowKind(self.zonk_kind(kind.argument),
-                             self.zonk_kind(kind.result))
-        if isinstance(kind, KindVar):
-            solution = self.kind_solutions.get(kind.name)
-            if solution is None:
+            rep = kind.rep
+            zonked = self._zonk_rep(rep)
+            if zonked is rep:
                 return kind
-            return self.zonk_kind(solution)
+            return TypeKind(zonked)
+        if isinstance(kind, ArrowKind):
+            memo = self._zonk_kind_memo
+            out = memo.get(kind)
+            if out is not None:
+                self.stats.zonk_memo_hits += 1
+                return out
+            self.stats.zonk_memo_misses += 1
+            argument = self._zonk_kind(kind.argument)
+            result = self._zonk_kind(kind.result)
+            out = kind if (argument is kind.argument
+                           and result is kind.result) \
+                else ArrowKind(argument, result)
+            memo[kind] = out
+            return out
+        if isinstance(kind, KindVar):
+            if not kind.unification:
+                return kind
+            root = self._kuf.find(kind.name)
+            solution = self._kind_sol.get(root)
+            if solution is not None:
+                return self._zonk_kind(solution)
+            if root == kind.name:
+                return kind
+            return self._kind_vars[root]
         return kind
 
     def zonk_type(self, type_: SType) -> SType:
-        if isinstance(type_, TyUVar):
-            solution = self.type_solutions.get(type_.name)
+        self._sync_memo()
+        return self._zonk_type(type_)
+
+    def _zonk_type(self, type_: SType) -> SType:
+        tt = type(type_)
+        if tt is TyUVar:
+            name = type_.name
+            root = (name if name not in self._tuf.parent
+                    else self._tuf.find(name))
+            solution = self._type_sol.get(root)
             if solution is not None:
-                return self.zonk_type(solution)
-            return TyUVar(type_.name, self.zonk_kind(type_.kind))
-        if isinstance(type_, TyVar):
-            return TyVar(type_.name, self.zonk_kind(type_.kind))
-        if isinstance(type_, TyCon):
-            return TyCon(type_.name, self.zonk_kind(type_.kind))
-        if isinstance(type_, FunTy):
-            return FunTy(self.zonk_type(type_.argument),
-                         self.zonk_type(type_.result))
-        if isinstance(type_, TyApp):
-            return TyApp(self.zonk_type(type_.function),
-                         self.zonk_type(type_.argument))
-        if isinstance(type_, UnboxedTupleTy):
-            return UnboxedTupleTy(self.zonk_type(c)
-                                  for c in type_.components)
-        if isinstance(type_, ForAllTy):
-            return ForAllTy(type_.binders, self.zonk_type(type_.body))
-        if isinstance(type_, QualTy):
-            from ..surface.types import ClassConstraint
+                return self._zonk_type(solution)
+            var = self._type_vars.get(root, type_)
+            kind = self._zonk_kind(var.kind)
+            if var is type_ and kind is type_.kind:
+                return type_
+            return TyUVar(var.name, kind)
+        if tt is TyVar:
+            kind = self._zonk_kind(type_.kind)
+            return type_ if kind is type_.kind else TyVar(type_.name, kind)
+        if tt is TyCon:
+            kind = self._zonk_kind(type_.kind)
+            return type_ if kind is type_.kind else TyCon(type_.name, kind)
+
+        # Composite nodes: inert fast path, then memoised rebuild.
+        if not type_.free_uvars():
+            free_reps = type_.free_rep_vars()
+            if ((not free_reps or self._names_inert_rep(free_reps))
+                    and self._kinds_inert()):
+                return type_
+        memo = self._zonk_type_memo
+        out = memo.get(type_)
+        if out is not None:
+            self.stats.zonk_memo_hits += 1
+            return out
+        self.stats.zonk_memo_misses += 1
+
+        if tt is FunTy:
+            argument = self._zonk_type(type_.argument)
+            result = self._zonk_type(type_.result)
+            out = type_ if (argument is type_.argument
+                            and result is type_.result) \
+                else FunTy(argument, result)
+        elif tt is TyApp:
+            function = self._zonk_type(type_.function)
+            argument = self._zonk_type(type_.argument)
+            out = type_ if (function is type_.function
+                            and argument is type_.argument) \
+                else TyApp(function, argument)
+        elif tt is UnboxedTupleTy:
+            out = UnboxedTupleTy(self._zonk_type(c)
+                                 for c in type_.components)
+        elif tt is ForAllTy:
+            # NB: binder kinds are zonked too — a solved ``ρ`` inside a
+            # binder kind (e.g. ``forall (a :: TYPE ρ). …``) must be
+            # substituted, which the seed solver forgot to do.
+            from ..surface.types import Binder
+            binders = tuple(Binder(b.name, self._zonk_kind(b.kind))
+                            for b in type_.binders)
+            out = ForAllTy(binders, self._zonk_type(type_.body))
+        elif tt is QualTy:
             constraints = tuple(
-                ClassConstraint(c.class_name, self.zonk_type(c.argument))
+                ClassConstraint(c.class_name, self._zonk_type(c.argument))
                 for c in type_.constraints)
-            return QualTy(constraints, self.zonk_type(type_.body))
+            out = QualTy(constraints, self._zonk_type(type_.body))
+        else:
+            out = type_
+        memo[type_] = out
+        return out
+
+    # -- head resolution -------------------------------------------------------
+
+    def _head_rep(self, rep: Rep) -> Rep:
+        parent = self._ruf.parent
+        sols = self._rep_sol
+        while isinstance(rep, RepVar) and rep.unification:
+            name = rep.name
+            # Fast path: a variable that was never unioned is its own root.
+            root = name if name not in parent else self._ruf.find(name)
+            solution = sols.get(root)
+            if solution is None:
+                if root == name:
+                    return rep
+                return self._rep_vars[root]
+            rep = solution
+        return rep
+
+    def _head_kind(self, kind: Kind) -> Kind:
+        parent = self._kuf.parent
+        sols = self._kind_sol
+        while isinstance(kind, KindVar) and kind.unification:
+            name = kind.name
+            root = name if name not in parent else self._kuf.find(name)
+            solution = sols.get(root)
+            if solution is None:
+                if root == name:
+                    return kind
+                return self._kind_vars[root]
+            kind = solution
+        return kind
+
+    def _head_type(self, type_: SType) -> SType:
+        parent = self._tuf.parent
+        sols = self._type_sol
+        while type(type_) is TyUVar:
+            name = type_.name
+            root = name if name not in parent else self._tuf.find(name)
+            solution = sols.get(root)
+            if solution is None:
+                if root == name:
+                    return type_
+                return self._type_vars[root]
+            type_ = solution
         return type_
 
     # -- representation unification --------------------------------------------
 
     def unify_reps(self, rep1: Rep, rep2: Rep) -> None:
         """Unify two runtime representations."""
-        rep1 = self.zonk_rep(rep1)
-        rep2 = self.zonk_rep(rep2)
-        if rep1 == rep2:
-            return
-        if isinstance(rep1, RepVar) and rep1.unification:
-            self._bind_rep(rep1, rep2)
-            return
-        if isinstance(rep2, RepVar) and rep2.unification:
-            self._bind_rep(rep2, rep1)
-            return
-        if isinstance(rep1, TupleRep) and isinstance(rep2, TupleRep):
-            if len(rep1.reps) != len(rep2.reps):
-                raise UnificationError(
-                    f"unboxed tuple representations have different arities: "
-                    f"{rep1.pretty()} vs {rep2.pretty()}")
-            for left, right in zip(rep1.reps, rep2.reps):
-                self.unify_reps(left, right)
-            return
-        if isinstance(rep1, SumRep) and isinstance(rep2, SumRep):
-            if len(rep1.alternatives) != len(rep2.alternatives):
-                raise UnificationError(
-                    f"unboxed sum representations have different arities: "
-                    f"{rep1.pretty()} vs {rep2.pretty()}")
-            for left, right in zip(rep1.alternatives, rep2.alternatives):
-                self.unify_reps(left, right)
-            return
-        raise UnificationError(
-            f"cannot unify runtime representations {rep1.pretty()} and "
-            f"{rep2.pretty()}: the types have different memory layouts / "
-            "calling conventions")
+        self.stats.unify_reps_calls += 1
+        stack: List[Tuple[Rep, Rep]] = [(rep1, rep2)]
+        while stack:
+            left, right = stack.pop()
+            left = self._head_rep(left)
+            right = self._head_rep(right)
+            if left is right:
+                continue
+            if isinstance(left, RepVar) and left.unification:
+                self._bind_rep(left, right)
+                continue
+            if isinstance(right, RepVar) and right.unification:
+                self._bind_rep(right, left)
+                continue
+            if left == right:
+                continue
+            if isinstance(left, TupleRep) and isinstance(right, TupleRep):
+                if len(left.reps) != len(right.reps):
+                    raise UnificationError(
+                        f"unboxed tuple representations have different "
+                        f"arities: {self._zonked_pretty_rep(left)} vs "
+                        f"{self._zonked_pretty_rep(right)}")
+                stack.extend(zip(reversed(left.reps), reversed(right.reps)))
+                continue
+            if isinstance(left, SumRep) and isinstance(right, SumRep):
+                if len(left.alternatives) != len(right.alternatives):
+                    raise UnificationError(
+                        f"unboxed sum representations have different "
+                        f"arities: {self._zonked_pretty_rep(left)} vs "
+                        f"{self._zonked_pretty_rep(right)}")
+                stack.extend(zip(reversed(left.alternatives),
+                                 reversed(right.alternatives)))
+                continue
+            raise UnificationError(
+                f"cannot unify runtime representations "
+                f"{self._zonked_pretty_rep(left)} and "
+                f"{self._zonked_pretty_rep(right)}: the types have different "
+                "memory layouts / calling conventions")
+
+    def _zonked_pretty_rep(self, rep: Rep) -> str:
+        return self.zonk_rep(rep).pretty()
 
     def _bind_rep(self, var: RepVar, rep: Rep) -> None:
-        if var.name in rep.free_rep_vars():
-            raise OccursCheckError(
-                f"representation variable {var.name} occurs in "
-                f"{rep.pretty()}")
-        self.rep_solutions[var.name] = rep
+        """Bind head-resolved ``var`` to head-resolved ``rep``."""
+        name = var.name
+        root = (name if name not in self._ruf.parent
+                else self._ruf.find(name))
+        if isinstance(rep, RepVar) and rep.unification:
+            # Only union participants need a name->object registration:
+            # a solution-bound variable is always its own class root.
+            self._rep_vars.setdefault(var.name, var)
+            self._rep_vars.setdefault(rep.name, rep)
+            other = self._ruf.find(rep.name)
+            if other == root:
+                return
+            self._ruf.union(root, other)
+        else:
+            if self._occurs_rep(root, rep):
+                raise OccursCheckError(
+                    f"representation variable {var.name} occurs in "
+                    f"{self.zonk_rep(rep).pretty()}")
+            self._rep_sol[root] = rep
+        self.stats.rep_bindings += 1
+        self._version += 1
+
+    def _occurs_rep(self, root: str, rep: Rep) -> bool:
+        """Does the class ``root`` occur in ``rep`` (solutions resolved)?"""
+        self.stats.occurs_checks += 1
+        find = self._ruf.find
+        sols = self._rep_sol
+        stack: List[Rep] = [rep]
+        seen: Set[int] = set()
+        while stack:
+            current = stack.pop()
+            if isinstance(current, RepVar):
+                if not current.unification:
+                    continue
+                r = find(current.name)
+                solution = sols.get(r)
+                if solution is not None:
+                    stack.append(solution)
+                elif r == root:
+                    return True
+                continue
+            if not current.free_rep_vars():
+                continue
+            if id(current) in seen:
+                continue
+            seen.add(id(current))
+            if isinstance(current, TupleRep):
+                stack.extend(current.reps)
+            elif isinstance(current, SumRep):
+                stack.extend(current.alternatives)
+        return False
 
     # -- kind unification --------------------------------------------------------
 
@@ -185,85 +577,255 @@ class UnifierState:
         lived; with levity polymorphism it is plain structural unification
         that bottoms out in :meth:`unify_reps`.
         """
-        kind1 = self.zonk_kind(kind1)
-        kind2 = self.zonk_kind(kind2)
-        if kind1 == kind2:
-            return
-        if isinstance(kind1, KindVar) and kind1.unification:
-            self.kind_solutions[kind1.name] = kind2
-            return
-        if isinstance(kind2, KindVar) and kind2.unification:
-            self.kind_solutions[kind2.name] = kind1
-            return
-        if isinstance(kind1, TypeKind) and isinstance(kind2, TypeKind):
-            self.unify_reps(kind1.rep, kind2.rep)
-            return
-        if isinstance(kind1, ArrowKind) and isinstance(kind2, ArrowKind):
-            self.unify_kinds(kind1.argument, kind2.argument)
-            self.unify_kinds(kind1.result, kind2.result)
-            return
-        raise UnificationError(
-            f"cannot unify kinds {kind1.pretty()} and {kind2.pretty()}")
+        self.stats.unify_kinds_calls += 1
+        stack: List[Tuple[Kind, Kind]] = [(kind1, kind2)]
+        while stack:
+            left, right = stack.pop()
+            left = self._head_kind(left)
+            right = self._head_kind(right)
+            if left is right:
+                continue
+            if isinstance(left, KindVar) and left.unification:
+                self._bind_kind(left, right)
+                continue
+            if isinstance(right, KindVar) and right.unification:
+                self._bind_kind(right, left)
+                continue
+            if left == right:
+                continue
+            if isinstance(left, TypeKind) and isinstance(right, TypeKind):
+                self.unify_reps(left.rep, right.rep)
+                continue
+            if isinstance(left, ArrowKind) and isinstance(right, ArrowKind):
+                stack.append((left.result, right.result))
+                stack.append((left.argument, right.argument))
+                continue
+            raise UnificationError(
+                f"cannot unify kinds {self.zonk_kind(left).pretty()} and "
+                f"{self.zonk_kind(right).pretty()}")
+
+    def _bind_kind(self, var: KindVar, kind: Kind) -> None:
+        root = self._kuf.find(var.name)
+        if isinstance(kind, KindVar) and kind.unification:
+            self._kind_vars.setdefault(var.name, var)
+            self._kind_vars.setdefault(kind.name, kind)
+            other = self._kuf.find(kind.name)
+            if other == root:
+                return
+            self._kuf.union(root, other)
+        else:
+            if self._occurs_kind(root, kind):
+                raise OccursCheckError(
+                    f"kind variable {var.name} occurs in "
+                    f"{self.zonk_kind(kind).pretty()} (infinite kind)")
+            self._kind_sol[root] = kind
+        self.stats.kind_bindings += 1
+        self._version += 1
+
+    def _occurs_kind(self, root: str, kind: Kind) -> bool:
+        """Does the class ``root`` occur in ``kind`` (solutions resolved)?"""
+        self.stats.occurs_checks += 1
+        find = self._kuf.find
+        sols = self._kind_sol
+        stack: List[Kind] = [kind]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, KindVar):
+                if not current.unification:
+                    continue
+                r = find(current.name)
+                solution = sols.get(r)
+                if solution is not None:
+                    stack.append(solution)
+                elif r == root:
+                    return True
+                continue
+            if isinstance(current, ArrowKind):
+                stack.append(current.argument)
+                stack.append(current.result)
+        return False
 
     # -- type unification ----------------------------------------------------------
 
     def unify_types(self, type1: SType, type2: SType) -> None:
         """First-order unification of (rank-1, forall-free) surface types."""
-        type1 = self.zonk_type(type1)
-        type2 = self.zonk_type(type2)
-
-        if isinstance(type1, TyUVar):
-            self._bind_type(type1, type2)
-            return
-        if isinstance(type2, TyUVar):
-            self._bind_type(type2, type1)
-            return
-
-        if isinstance(type1, TyCon) and isinstance(type2, TyCon):
-            if type1.name != type2.name:
-                raise UnificationError(
-                    f"cannot match {type1.name} with {type2.name}")
-            return
-        if isinstance(type1, TyVar) and isinstance(type2, TyVar):
-            if type1.name != type2.name:
-                raise UnificationError(
-                    f"cannot match rigid type variables {type1.name} and "
-                    f"{type2.name}")
-            return
-        if isinstance(type1, FunTy) and isinstance(type2, FunTy):
-            self.unify_types(type1.argument, type2.argument)
-            self.unify_types(type1.result, type2.result)
-            return
-        if isinstance(type1, TyApp) and isinstance(type2, TyApp):
-            self.unify_types(type1.function, type2.function)
-            self.unify_types(type1.argument, type2.argument)
-            return
-        if (isinstance(type1, UnboxedTupleTy)
-                and isinstance(type2, UnboxedTupleTy)):
-            if len(type1.components) != len(type2.components):
-                raise UnificationError(
-                    "unboxed tuples have different arities: "
-                    f"{type1.pretty()} vs {type2.pretty()}")
-            for left, right in zip(type1.components, type2.components):
-                self.unify_types(left, right)
-            return
-
-        raise UnificationError(
-            f"cannot unify {type1.pretty()} with {type2.pretty()}")
+        self.stats.unify_types_calls += 1
+        stack: List[Tuple[SType, SType]] = [(type1, type2)]
+        while stack:
+            left, right = stack.pop()
+            left = self._head_type(left)
+            right = self._head_type(right)
+            if left is right:
+                continue
+            tl = type(left)
+            tr = type(right)
+            if tl is TyUVar:
+                self._bind_type(left, right)
+                continue
+            if tr is TyUVar:
+                self._bind_type(right, left)
+                continue
+            if tl is TyCon and tr is TyCon:
+                if left.name != right.name:
+                    raise UnificationError(
+                        f"cannot match {left.name} with {right.name}")
+                continue
+            if tl is TyVar and tr is TyVar:
+                if left.name != right.name:
+                    raise UnificationError(
+                        f"cannot match rigid type variables {left.name} and "
+                        f"{right.name}")
+                continue
+            if tl is FunTy and tr is FunTy:
+                stack.append((left.result, right.result))
+                stack.append((left.argument, right.argument))
+                continue
+            if tl is TyApp and tr is TyApp:
+                stack.append((left.argument, right.argument))
+                stack.append((left.function, right.function))
+                continue
+            if tl is UnboxedTupleTy and tr is UnboxedTupleTy:
+                if len(left.components) != len(right.components):
+                    raise UnificationError(
+                        "unboxed tuples have different arities: "
+                        f"{self.zonk_type(left).pretty()} vs "
+                        f"{self.zonk_type(right).pretty()}")
+                stack.extend(zip(reversed(left.components),
+                                 reversed(right.components)))
+                continue
+            raise UnificationError(
+                f"cannot unify {self.zonk_type(left).pretty()} with "
+                f"{self.zonk_type(right).pretty()}")
 
     def _bind_type(self, var: TyUVar, type_: SType) -> None:
-        if isinstance(type_, TyUVar) and type_.name == var.name:
-            return
-        if var.name in type_.free_uvars():
-            raise OccursCheckError(
-                f"type variable {var.name} occurs in {type_.pretty()} "
-                "(infinite type)")
-        # Kind preservation: the kinds of the two sides must unify, which is
-        # how representation information flows (e.g. unifying α :: TYPE ρ
-        # with Int# solves ρ := IntRep).
-        from ..surface.types import kind_of_type
-        self.unify_kinds(var.kind, kind_of_type(type_))
-        self.type_solutions[var.name] = type_
+        """Bind head-resolved ``var`` to head-resolved ``type_``."""
+        name = var.name
+        root = (name if name not in self._tuf.parent
+                else self._tuf.find(name))
+        if type(type_) is TyUVar:
+            self._type_vars.setdefault(var.name, var)
+            self._type_vars.setdefault(type_.name, type_)
+            other = self._tuf.find(type_.name)
+            if other == root:
+                return
+            # Kind preservation across the merged class: representation
+            # information flows through the kinds (Section 5.2).
+            self.unify_kinds(var.kind, type_.kind)
+            self._tuf.union(root, other)
+        else:
+            if self._occurs_type(root, type_):
+                raise OccursCheckError(
+                    f"type variable {var.name} occurs in "
+                    f"{self.zonk_type(type_).pretty()} (infinite type)")
+            # Kind preservation: the kinds of the two sides must unify, which
+            # is how representation information flows (e.g. unifying
+            # α :: TYPE ρ with Int# solves ρ := IntRep).
+            self.unify_kinds(var.kind, self._kind_of(type_))
+            self._type_sol[root] = type_
+        self.stats.type_bindings += 1
+        self._version += 1
+
+    def _occurs_type(self, root: str, type_: SType) -> bool:
+        """Does the class ``root`` occur in ``type_`` (solutions resolved)?"""
+        self.stats.occurs_checks += 1
+        find = self._tuf.find
+        sols = self._type_sol
+        stack: List[SType] = [type_]
+        seen: Set[int] = set()
+        while stack:
+            current = stack.pop()
+            tc = type(current)
+            if tc is TyUVar:
+                r = find(current.name)
+                solution = sols.get(r)
+                if solution is not None:
+                    stack.append(solution)
+                elif r == root:
+                    return True
+                continue
+            if not current.free_uvars():
+                continue
+            if id(current) in seen:
+                continue
+            seen.add(id(current))
+            if tc is FunTy:
+                stack.append(current.argument)
+                stack.append(current.result)
+            elif tc is TyApp:
+                stack.append(current.function)
+                stack.append(current.argument)
+            elif tc is UnboxedTupleTy:
+                stack.extend(current.components)
+            elif tc is ForAllTy:
+                stack.append(current.body)
+            elif tc is QualTy:
+                stack.append(current.body)
+                stack.extend(c.argument for c in current.constraints)
+        return False
+
+    def _kind_of(self, type_: SType) -> Kind:
+        """The kind of a possibly-unzonked type, resolving variable heads.
+
+        Mirrors :func:`repro.surface.types.kind_of_type` but never needs the
+        term to be zonked first: unification-variable heads are resolved on
+        the fly and kind comparisons happen on zonked kinds.  This is what
+        lets :meth:`_bind_type` kind-check a binding without re-zonking the
+        whole right-hand side (the seed solver's quadratic hot spot).
+        """
+        from ..core.errors import KindError, TypeCheckError
+
+        type_ = self._head_type(type_)
+        if isinstance(type_, (TyCon, TyVar, TyUVar)):
+            return type_.kind
+        # Inert terms (no unification variables this state could have
+        # touched) kind-check via the globally memoised kinding function:
+        # repeated binds against the same wide term become O(1).
+        if not type_.free_uvars():
+            free_reps = type_.free_rep_vars()
+            if ((not free_reps or self._names_inert_rep(free_reps))
+                    and self._kinds_inert()):
+                return kind_of_type(type_)
+        if isinstance(type_, FunTy):
+            from ..core.kinds import TYPE_LIFTED
+            for side, label in ((type_.argument, "argument"),
+                                (type_.result, "result")):
+                side_kind = self.zonk_kind(self._kind_of(side))
+                if not isinstance(side_kind, TypeKind):
+                    raise KindError(
+                        f"the {label} of a function arrow must have a value "
+                        f"kind, but {self.zonk_type(side).pretty()} has kind "
+                        f"{side_kind.pretty()}")
+            return TYPE_LIFTED
+        if isinstance(type_, TyApp):
+            function_kind = self.zonk_kind(self._kind_of(type_.function))
+            argument_kind = self.zonk_kind(self._kind_of(type_.argument))
+            if not isinstance(function_kind, ArrowKind):
+                raise KindError(
+                    f"{self.zonk_type(type_.function).pretty()} of kind "
+                    f"{function_kind.pretty()} cannot be applied to a type "
+                    "argument")
+            if function_kind.argument != argument_kind:
+                raise KindError(
+                    f"kind mismatch in {self.zonk_type(type_).pretty()}: "
+                    f"expected {function_kind.argument.pretty()}, got "
+                    f"{argument_kind.pretty()}")
+            return function_kind.result
+        if isinstance(type_, UnboxedTupleTy):
+            reps: List[Rep] = []
+            for component in type_.components:
+                component_kind = self.zonk_kind(self._kind_of(component))
+                if not isinstance(component_kind, TypeKind):
+                    raise KindError(
+                        f"unboxed tuple component "
+                        f"{self.zonk_type(component).pretty()} has "
+                        f"non-value kind {component_kind.pretty()}")
+                reps.append(component_kind.rep)
+            return TypeKind(TupleRep(reps))
+        if isinstance(type_, (ForAllTy, QualTy)):
+            # Zonked foralls/qualified types delegate to the pure kinding
+            # function, which also handles rep binders correctly.
+            return kind_of_type(self.zonk_type(type_))
+        raise TypeCheckError(f"unknown surface type form: {type_!r}")
 
     # -- queries --------------------------------------------------------------------
 

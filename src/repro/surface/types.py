@@ -17,12 +17,21 @@ representations), the surface language has
 Kinds are the :class:`repro.core.kinds.Kind` values, so everything the core
 package knows about representations (register shapes, concreteness, the
 levity restrictions) applies directly to surface types.
+
+Performance notes (see ``docs/PERF.md``): the small, first-order type nodes
+(:class:`TyCon`, :class:`TyVar`, :class:`TyUVar`, :class:`FunTy`,
+:class:`TyApp`, :class:`UnboxedTupleTy`) are **hash-consed** with cached
+hashes and memoised ``free_*`` queries, so structural equality usually
+short-circuits on identity and substitution can skip untouched subtrees.
+:func:`kind_of_type` is memoised on the interned node.  ``ForAllTy`` and
+``QualTy`` are rarer and stay ordinary frozen dataclasses (with lazily
+cached free-variable sets).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.errors import KindError, ScopeError, TypeCheckError
@@ -53,6 +62,8 @@ from ..core.rep import (
     WORD_REP,
 )
 
+_EMPTY_NAMES: FrozenSet[str] = frozenset()
+
 # ---------------------------------------------------------------------------
 # Type AST
 # ---------------------------------------------------------------------------
@@ -61,20 +72,59 @@ from ..core.rep import (
 class SType:
     """Abstract base class of surface types."""
 
+    __slots__ = ("_hash", "_ftv", "_frv", "_fuv")
+
+    def _init_caches(self) -> None:
+        self._hash = None
+        self._ftv = None
+        self._frv = None
+        self._fuv = None
+
     def free_type_vars(self) -> FrozenSet[str]:
-        raise NotImplementedError
+        free = self._ftv
+        if free is None:
+            free = self._compute_free_type_vars()
+            self._ftv = free
+        return free
 
     def free_rep_vars(self) -> FrozenSet[str]:
-        raise NotImplementedError
+        free = self._frv
+        if free is None:
+            free = self._compute_free_rep_vars()
+            self._frv = free
+        return free
 
     def free_uvars(self) -> FrozenSet[str]:
         """Free *unification* variables (those invented by inference)."""
+        free = self._fuv
+        if free is None:
+            free = self._compute_free_uvars()
+            self._fuv = free
+        return free
+
+    def _compute_free_type_vars(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def _compute_free_rep_vars(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def _compute_free_uvars(self) -> FrozenSet[str]:
         raise NotImplementedError
 
     def subst_types(self, mapping: Dict[str, "SType"]) -> "SType":
         raise NotImplementedError
 
     def subst_reps(self, mapping: Dict[str, Rep]) -> "SType":
+        raise NotImplementedError
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = self._compute_hash()
+            self._hash = h
+        return h
+
+    def _compute_hash(self) -> int:
         raise NotImplementedError
 
     def pretty(self, explicit_runtime_reps: bool = True) -> str:
@@ -84,59 +134,126 @@ class SType:
         return self.pretty()
 
 
-@dataclass(frozen=True)
+def _subst_untouched(type_: SType, mapping: Dict[str, object]) -> bool:
+    """True when a type substitution cannot change ``type_``.
+
+    Both :meth:`SType.subst_types` domains (rigid type variables *and*
+    unification variables) must be disjoint from the mapping's keys.
+    """
+    if not mapping:
+        return True
+    return (type_.free_type_vars().isdisjoint(mapping)
+            and type_.free_uvars().isdisjoint(mapping))
+
+
 class TyCon(SType):
     """A type constructor with its kind, e.g. ``Int# :: TYPE IntRep``."""
 
-    name: str
-    kind: Kind
+    __slots__ = ("name", "kind")
 
-    def free_type_vars(self) -> FrozenSet[str]:
-        return frozenset()
+    _intern: Dict[Tuple[str, Kind], "TyCon"] = {}
 
-    def free_rep_vars(self) -> FrozenSet[str]:
+    def __new__(cls, name: str, kind: Kind) -> "TyCon":
+        key = (name, kind)
+        instance = cls._intern.get(key)
+        if instance is None:
+            instance = object.__new__(cls)
+            instance._init_caches()
+            instance.name = name
+            instance.kind = kind
+            cls._intern[key] = instance
+        return instance
+
+    def __init__(self, name: str = "", kind: Kind = TYPE_LIFTED) -> None:
+        pass
+
+    def _compute_free_type_vars(self) -> FrozenSet[str]:
+        return _EMPTY_NAMES
+
+    def _compute_free_rep_vars(self) -> FrozenSet[str]:
         return self.kind.free_rep_vars()
 
-    def free_uvars(self) -> FrozenSet[str]:
-        return frozenset()
+    def _compute_free_uvars(self) -> FrozenSet[str]:
+        return _EMPTY_NAMES
 
     def subst_types(self, mapping: Dict[str, SType]) -> SType:
         return self
 
     def subst_reps(self, mapping: Dict[str, Rep]) -> SType:
+        if not mapping or self.free_rep_vars().isdisjoint(mapping):
+            return self
         return TyCon(self.name, self.kind.substitute_reps(mapping))
+
+    def _compute_hash(self) -> int:
+        return hash(("TyCon", self.name, self.kind))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (type(other) is TyCon and self.name == other.name
+                and self.kind == other.kind)
+
+    __hash__ = SType.__hash__
 
     def pretty(self, explicit_runtime_reps: bool = True) -> str:
         return self.name
 
 
-@dataclass(frozen=True)
 class TyVar(SType):
     """A (rigid, user-written or skolemised) type variable with its kind."""
 
-    name: str
-    kind: Kind = TYPE_LIFTED
+    __slots__ = ("name", "kind")
 
-    def free_type_vars(self) -> FrozenSet[str]:
+    _intern: Dict[Tuple[str, Kind], "TyVar"] = {}
+
+    def __new__(cls, name: str, kind: Kind = TYPE_LIFTED) -> "TyVar":
+        key = (name, kind)
+        instance = cls._intern.get(key)
+        if instance is None:
+            instance = object.__new__(cls)
+            instance._init_caches()
+            instance.name = name
+            instance.kind = kind
+            cls._intern[key] = instance
+        return instance
+
+    def __init__(self, name: str = "", kind: Kind = TYPE_LIFTED) -> None:
+        pass
+
+    def _compute_free_type_vars(self) -> FrozenSet[str]:
         return frozenset({self.name})
 
-    def free_rep_vars(self) -> FrozenSet[str]:
+    def _compute_free_rep_vars(self) -> FrozenSet[str]:
         return self.kind.free_rep_vars()
 
-    def free_uvars(self) -> FrozenSet[str]:
-        return frozenset()
+    def _compute_free_uvars(self) -> FrozenSet[str]:
+        return _EMPTY_NAMES
 
     def subst_types(self, mapping: Dict[str, SType]) -> SType:
+        if not mapping:
+            return self
         return mapping.get(self.name, self)
 
     def subst_reps(self, mapping: Dict[str, Rep]) -> SType:
+        if not mapping or self.free_rep_vars().isdisjoint(mapping):
+            return self
         return TyVar(self.name, self.kind.substitute_reps(mapping))
+
+    def _compute_hash(self) -> int:
+        return hash(("TyVar", self.name, self.kind))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (type(other) is TyVar and self.name == other.name
+                and self.kind == other.kind)
+
+    __hash__ = SType.__hash__
 
     def pretty(self, explicit_runtime_reps: bool = True) -> str:
         return self.name
 
 
-@dataclass(frozen=True)
 class TyUVar(SType):
     """A unification (meta) variable invented by the inference engine.
 
@@ -146,31 +263,84 @@ class TyUVar(SType):
     :class:`repro.infer.unify.UnifierState` store rather than in mutable
     cells, and :meth:`repro.infer.unify.UnifierState.zonk_type` plays the
     role of GHC's zonking (Section 8.2).
+
+    Fresh variables made by :meth:`_fresh` carry an integer id and format
+    their name lazily, so inventing a variable allocates no strings.
     """
 
-    name: str
-    kind: Kind = TYPE_LIFTED
+    __slots__ = ("_name", "kind", "_fresh_id", "_fresh_prefix")
 
-    def free_type_vars(self) -> FrozenSet[str]:
-        return frozenset()
+    _intern: Dict[Tuple[str, Kind], "TyUVar"] = {}
 
-    def free_rep_vars(self) -> FrozenSet[str]:
+    def __new__(cls, name: str, kind: Kind = TYPE_LIFTED) -> "TyUVar":
+        key = (name, kind)
+        instance = cls._intern.get(key)
+        if instance is None:
+            instance = object.__new__(cls)
+            instance._init_caches()
+            instance._name = name
+            instance.kind = kind
+            instance._fresh_id = None
+            instance._fresh_prefix = None
+            cls._intern[key] = instance
+        return instance
+
+    def __init__(self, name: str = "", kind: Kind = TYPE_LIFTED) -> None:
+        pass
+
+    @classmethod
+    def _fresh(cls, uid: int, prefix: str, kind: Kind) -> "TyUVar":
+        """A fresh variable whose name ``f"{prefix}{uid}"`` is formatted lazily."""
+        instance = object.__new__(cls)
+        instance._init_caches()
+        instance._name = None
+        instance.kind = kind
+        instance._fresh_id = uid
+        instance._fresh_prefix = prefix
+        return instance
+
+    @property
+    def name(self) -> str:
+        name = self._name
+        if name is None:
+            name = f"{self._fresh_prefix}{self._fresh_id}"
+            self._name = name
+        return name
+
+    def _compute_free_type_vars(self) -> FrozenSet[str]:
+        return _EMPTY_NAMES
+
+    def _compute_free_rep_vars(self) -> FrozenSet[str]:
         return self.kind.free_rep_vars()
 
-    def free_uvars(self) -> FrozenSet[str]:
+    def _compute_free_uvars(self) -> FrozenSet[str]:
         return frozenset({self.name})
 
     def subst_types(self, mapping: Dict[str, SType]) -> SType:
+        if not mapping:
+            return self
         return mapping.get(self.name, self)
 
     def subst_reps(self, mapping: Dict[str, Rep]) -> SType:
+        if not mapping or self.free_rep_vars().isdisjoint(mapping):
+            return self
         return TyUVar(self.name, self.kind.substitute_reps(mapping))
+
+    def _compute_hash(self) -> int:
+        return hash(("TyUVar", self.name, self.kind))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (type(other) is TyUVar and self.name == other.name
+                and self.kind == other.kind)
+
+    __hash__ = SType.__hash__
 
     def pretty(self, explicit_runtime_reps: bool = True) -> str:
         return self.name
 
 
-@dataclass(frozen=True)
 class FunTy(SType):
     """The function type ``argument -> result``.
 
@@ -180,25 +350,56 @@ class FunTy(SType):
     argument and result (rule T_ARROW).
     """
 
-    argument: SType
-    result: SType
+    __slots__ = ("argument", "result")
 
-    def free_type_vars(self) -> FrozenSet[str]:
+    _intern: Dict[Tuple[SType, SType], "FunTy"] = {}
+
+    def __new__(cls, argument: SType, result: SType) -> "FunTy":
+        key = (argument, result)
+        instance = cls._intern.get(key)
+        if instance is None:
+            instance = object.__new__(cls)
+            instance._init_caches()
+            instance.argument = argument
+            instance.result = result
+            cls._intern[key] = instance
+        return instance
+
+    def __init__(self, argument: Optional[SType] = None,
+                 result: Optional[SType] = None) -> None:
+        pass
+
+    def _compute_free_type_vars(self) -> FrozenSet[str]:
         return self.argument.free_type_vars() | self.result.free_type_vars()
 
-    def free_rep_vars(self) -> FrozenSet[str]:
+    def _compute_free_rep_vars(self) -> FrozenSet[str]:
         return self.argument.free_rep_vars() | self.result.free_rep_vars()
 
-    def free_uvars(self) -> FrozenSet[str]:
+    def _compute_free_uvars(self) -> FrozenSet[str]:
         return self.argument.free_uvars() | self.result.free_uvars()
 
     def subst_types(self, mapping: Dict[str, SType]) -> SType:
+        if _subst_untouched(self, mapping):
+            return self
         return FunTy(self.argument.subst_types(mapping),
                      self.result.subst_types(mapping))
 
     def subst_reps(self, mapping: Dict[str, Rep]) -> SType:
+        if not mapping or self.free_rep_vars().isdisjoint(mapping):
+            return self
         return FunTy(self.argument.subst_reps(mapping),
                      self.result.subst_reps(mapping))
+
+    def _compute_hash(self) -> int:
+        return hash(("FunTy", self.argument, self.result))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (type(other) is FunTy and self.argument == other.argument
+                and self.result == other.result)
+
+    __hash__ = SType.__hash__
 
     def pretty(self, explicit_runtime_reps: bool = True) -> str:
         arg = self.argument.pretty(explicit_runtime_reps)
@@ -207,29 +408,59 @@ class FunTy(SType):
         return f"{arg} -> {self.result.pretty(explicit_runtime_reps)}"
 
 
-@dataclass(frozen=True)
 class TyApp(SType):
     """Type application, e.g. ``Maybe Int`` or ``Array# Double``."""
 
-    function: SType
-    argument: SType
+    __slots__ = ("function", "argument")
 
-    def free_type_vars(self) -> FrozenSet[str]:
+    _intern: Dict[Tuple[SType, SType], "TyApp"] = {}
+
+    def __new__(cls, function: SType, argument: SType) -> "TyApp":
+        key = (function, argument)
+        instance = cls._intern.get(key)
+        if instance is None:
+            instance = object.__new__(cls)
+            instance._init_caches()
+            instance.function = function
+            instance.argument = argument
+            cls._intern[key] = instance
+        return instance
+
+    def __init__(self, function: Optional[SType] = None,
+                 argument: Optional[SType] = None) -> None:
+        pass
+
+    def _compute_free_type_vars(self) -> FrozenSet[str]:
         return self.function.free_type_vars() | self.argument.free_type_vars()
 
-    def free_rep_vars(self) -> FrozenSet[str]:
+    def _compute_free_rep_vars(self) -> FrozenSet[str]:
         return self.function.free_rep_vars() | self.argument.free_rep_vars()
 
-    def free_uvars(self) -> FrozenSet[str]:
+    def _compute_free_uvars(self) -> FrozenSet[str]:
         return self.function.free_uvars() | self.argument.free_uvars()
 
     def subst_types(self, mapping: Dict[str, SType]) -> SType:
+        if _subst_untouched(self, mapping):
+            return self
         return TyApp(self.function.subst_types(mapping),
                      self.argument.subst_types(mapping))
 
     def subst_reps(self, mapping: Dict[str, Rep]) -> SType:
+        if not mapping or self.free_rep_vars().isdisjoint(mapping):
+            return self
         return TyApp(self.function.subst_reps(mapping),
                      self.argument.subst_reps(mapping))
+
+    def _compute_hash(self) -> int:
+        return hash(("TyApp", self.function, self.argument))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (type(other) is TyApp and self.function == other.function
+                and self.argument == other.argument)
+
+    __hash__ = SType.__hash__
 
     def pretty(self, explicit_runtime_reps: bool = True) -> str:
         arg = self.argument.pretty(explicit_runtime_reps)
@@ -238,38 +469,64 @@ class TyApp(SType):
         return f"{self.function.pretty(explicit_runtime_reps)} {arg}"
 
 
-@dataclass(frozen=True)
 class UnboxedTupleTy(SType):
     """An unboxed tuple type ``(# t1, ..., tn #)`` (Section 4.2)."""
 
-    components: Tuple[SType, ...]
+    __slots__ = ("components",)
+
+    _intern: Dict[Tuple[SType, ...], "UnboxedTupleTy"] = {}
+
+    def __new__(cls, components: Iterable[SType] = ()) -> "UnboxedTupleTy":
+        key = tuple(components)
+        instance = cls._intern.get(key)
+        if instance is None:
+            instance = object.__new__(cls)
+            instance._init_caches()
+            instance.components = key
+            cls._intern[key] = instance
+        return instance
 
     def __init__(self, components: Iterable[SType] = ()) -> None:
-        object.__setattr__(self, "components", tuple(components))
+        pass
 
-    def free_type_vars(self) -> FrozenSet[str]:
-        out: FrozenSet[str] = frozenset()
+    def _compute_free_type_vars(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = _EMPTY_NAMES
         for component in self.components:
             out = out | component.free_type_vars()
         return out
 
-    def free_rep_vars(self) -> FrozenSet[str]:
-        out: FrozenSet[str] = frozenset()
+    def _compute_free_rep_vars(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = _EMPTY_NAMES
         for component in self.components:
             out = out | component.free_rep_vars()
         return out
 
-    def free_uvars(self) -> FrozenSet[str]:
-        out: FrozenSet[str] = frozenset()
+    def _compute_free_uvars(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = _EMPTY_NAMES
         for component in self.components:
             out = out | component.free_uvars()
         return out
 
     def subst_types(self, mapping: Dict[str, SType]) -> SType:
+        if _subst_untouched(self, mapping):
+            return self
         return UnboxedTupleTy(c.subst_types(mapping) for c in self.components)
 
     def subst_reps(self, mapping: Dict[str, Rep]) -> SType:
+        if not mapping or self.free_rep_vars().isdisjoint(mapping):
+            return self
         return UnboxedTupleTy(c.subst_reps(mapping) for c in self.components)
+
+    def _compute_hash(self) -> int:
+        return hash(("UnboxedTupleTy", self.components))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (type(other) is UnboxedTupleTy
+                and self.components == other.components)
+
+    __hash__ = SType.__hash__
 
     def pretty(self, explicit_runtime_reps: bool = True) -> str:
         inner = ", ".join(c.pretty(explicit_runtime_reps)
@@ -291,7 +548,6 @@ class Binder:
         return f"({self.name} :: {self.kind.pretty(explicit_runtime_reps)})"
 
 
-@dataclass(frozen=True)
 class ForAllTy(SType):
     """``forall (b1 :: k1) ... (bn :: kn). body``.
 
@@ -300,38 +556,53 @@ class ForAllTy(SType):
     GHC where ``RuntimeRep`` variables are ordinary kind-level variables.
     """
 
-    binders: Tuple[Binder, ...]
-    body: SType
+    __slots__ = ("binders", "body")
 
     def __init__(self, binders: Iterable[Binder], body: SType) -> None:
-        object.__setattr__(self, "binders", tuple(binders))
-        object.__setattr__(self, "body", body)
+        self._init_caches()
+        self.binders = tuple(binders)
+        self.body = body
 
-    def free_type_vars(self) -> FrozenSet[str]:
+    def _compute_free_type_vars(self) -> FrozenSet[str]:
         bound = {b.name for b in self.binders if not b.is_rep_binder()}
         return self.body.free_type_vars() - bound
 
-    def free_rep_vars(self) -> FrozenSet[str]:
+    def _compute_free_rep_vars(self) -> FrozenSet[str]:
         bound = {b.name for b in self.binders if b.is_rep_binder()}
         out = self.body.free_rep_vars()
         for binder in self.binders:
             out = out | binder.kind.free_rep_vars()
         return out - bound
 
-    def free_uvars(self) -> FrozenSet[str]:
+    def _compute_free_uvars(self) -> FrozenSet[str]:
         return self.body.free_uvars()
 
     def subst_types(self, mapping: Dict[str, SType]) -> SType:
+        if _subst_untouched(self, mapping):
+            return self
         bound = {b.name for b in self.binders}
         filtered = {k: v for k, v in mapping.items() if k not in bound}
         return ForAllTy(self.binders, self.body.subst_types(filtered))
 
     def subst_reps(self, mapping: Dict[str, Rep]) -> SType:
+        if not mapping or self.free_rep_vars().isdisjoint(mapping):
+            return self
         bound = {b.name for b in self.binders if b.is_rep_binder()}
         filtered = {k: v for k, v in mapping.items() if k not in bound}
         binders = tuple(Binder(b.name, b.kind.substitute_reps(filtered))
                         for b in self.binders)
         return ForAllTy(binders, self.body.subst_reps(filtered))
+
+    def _compute_hash(self) -> int:
+        return hash(("ForAllTy", self.binders, self.body))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (type(other) is ForAllTy and self.binders == other.binders
+                and self.body == other.body)
+
+    __hash__ = SType.__hash__
 
     def pretty(self, explicit_runtime_reps: bool = True) -> str:
         binders = self.binders
@@ -364,47 +635,61 @@ class ClassConstraint:
         return self.pretty()
 
 
-@dataclass(frozen=True)
 class QualTy(SType):
     """A qualified type ``C1, ..., Cn => body``."""
 
-    constraints: Tuple[ClassConstraint, ...]
-    body: SType
+    __slots__ = ("constraints", "body")
 
     def __init__(self, constraints: Iterable[ClassConstraint],
                  body: SType) -> None:
-        object.__setattr__(self, "constraints", tuple(constraints))
-        object.__setattr__(self, "body", body)
+        self._init_caches()
+        self.constraints = tuple(constraints)
+        self.body = body
 
-    def free_type_vars(self) -> FrozenSet[str]:
+    def _compute_free_type_vars(self) -> FrozenSet[str]:
         out = self.body.free_type_vars()
         for constraint in self.constraints:
             out = out | constraint.argument.free_type_vars()
         return out
 
-    def free_rep_vars(self) -> FrozenSet[str]:
+    def _compute_free_rep_vars(self) -> FrozenSet[str]:
         out = self.body.free_rep_vars()
         for constraint in self.constraints:
             out = out | constraint.argument.free_rep_vars()
         return out
 
-    def free_uvars(self) -> FrozenSet[str]:
+    def _compute_free_uvars(self) -> FrozenSet[str]:
         out = self.body.free_uvars()
         for constraint in self.constraints:
             out = out | constraint.argument.free_uvars()
         return out
 
     def subst_types(self, mapping: Dict[str, SType]) -> SType:
+        if _subst_untouched(self, mapping):
+            return self
         constraints = tuple(
             ClassConstraint(c.class_name, c.argument.subst_types(mapping))
             for c in self.constraints)
         return QualTy(constraints, self.body.subst_types(mapping))
 
     def subst_reps(self, mapping: Dict[str, Rep]) -> SType:
+        if not mapping or self.free_rep_vars().isdisjoint(mapping):
+            return self
         constraints = tuple(
             ClassConstraint(c.class_name, c.argument.subst_reps(mapping))
             for c in self.constraints)
         return QualTy(constraints, self.body.subst_reps(mapping))
+
+    def _compute_hash(self) -> int:
+        return hash(("QualTy", self.constraints, self.body))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (type(other) is QualTy and self.constraints == other.constraints
+                and self.body == other.body)
+
+    __hash__ = SType.__hash__
 
     def pretty(self, explicit_runtime_reps: bool = True) -> str:
         constraints = ", ".join(c.pretty(explicit_runtime_reps)
@@ -482,6 +767,11 @@ def lookup_tycon(name: str) -> TyCon:
 # Kinding
 # ---------------------------------------------------------------------------
 
+#: Memo table for :func:`kind_of_type` (empty-environment calls only).
+#: Sound because type nodes are immutable and a type's kind depends only on
+#: its structure; keyed by the node itself (hash-consed => cached hash).
+_KIND_OF_TYPE_MEMO: Dict[SType, Kind] = {}
+
 
 def kind_of_type(type_: SType,
                  rep_env: Optional[Dict[str, Rep]] = None) -> Kind:
@@ -491,9 +781,21 @@ def kind_of_type(type_: SType,
     (or to solutions); it is threaded by the inference engine.  Raises
     :class:`KindError` for ill-kinded types (for example an unsaturated
     type-constructor application applied to the wrong kind).
-    """
-    rep_env = rep_env or {}
 
+    Results for the common empty-environment calls are memoised on the
+    (hash-consed) node, which makes the repeated kind queries issued by the
+    unifier and the levity checks O(1) after the first visit.
+    """
+    if not rep_env:
+        kind = _KIND_OF_TYPE_MEMO.get(type_)
+        if kind is None:
+            kind = _kind_of_type(type_, {})
+            _KIND_OF_TYPE_MEMO[type_] = kind
+        return kind
+    return _kind_of_type(type_, rep_env)
+
+
+def _kind_of_type(type_: SType, rep_env: Dict[str, Rep]) -> Kind:
     if isinstance(type_, (TyCon, TyVar, TyUVar)):
         return type_.kind
 
@@ -501,7 +803,7 @@ def kind_of_type(type_: SType,
         # Both sides must have *some* value kind; the arrow is Type.
         for side, label in ((type_.argument, "argument"),
                             (type_.result, "result")):
-            side_kind = kind_of_type(side, rep_env)
+            side_kind = _kind_of_type(side, rep_env)
             if not isinstance(side_kind, TypeKind):
                 raise KindError(
                     f"the {label} of a function arrow must have a value "
@@ -509,8 +811,8 @@ def kind_of_type(type_: SType,
         return TYPE_LIFTED
 
     if isinstance(type_, TyApp):
-        function_kind = kind_of_type(type_.function, rep_env)
-        argument_kind = kind_of_type(type_.argument, rep_env)
+        function_kind = _kind_of_type(type_.function, rep_env)
+        argument_kind = _kind_of_type(type_.argument, rep_env)
         if not isinstance(function_kind, ArrowKind):
             raise KindError(
                 f"{type_.function.pretty()} of kind {function_kind.pretty()} "
@@ -525,7 +827,7 @@ def kind_of_type(type_: SType,
     if isinstance(type_, UnboxedTupleTy):
         reps: List[Rep] = []
         for component in type_.components:
-            component_kind = kind_of_type(component, rep_env)
+            component_kind = _kind_of_type(component, rep_env)
             if not isinstance(component_kind, TypeKind):
                 raise KindError(
                     f"unboxed tuple component {component.pretty()} has "
@@ -539,10 +841,10 @@ def kind_of_type(type_: SType,
             if binder.is_rep_binder():
                 inner_env[binder.name] = RepVar(binder.name)
         # As in L's T_ALLTY, a forall has the kind of its body (type erasure).
-        return kind_of_type(type_.body, inner_env)
+        return _kind_of_type(type_.body, inner_env)
 
     if isinstance(type_, QualTy):
-        return kind_of_type(type_.body, rep_env)
+        return _kind_of_type(type_.body, rep_env)
 
     raise TypeCheckError(f"unknown surface type form: {type_!r}")
 
@@ -592,4 +894,4 @@ _uvar_counter = itertools.count()
 
 def fresh_tyuvar(kind: Kind) -> TyUVar:
     """A fresh type unification variable of the given kind."""
-    return TyUVar(f"t{next(_uvar_counter)}", kind)
+    return TyUVar._fresh(next(_uvar_counter), "t", kind)

@@ -134,6 +134,42 @@ class TestUnification:
         once = state.zonk_type(alpha)
         assert state.zonk_type(once) == once
 
+    def test_zonk_substitutes_solved_rep_in_forall_binder_kind(self):
+        """Zonking must reach *binder kinds* of a forall, not just the body.
+
+        Regression test: with ``ρ`` a solved rep uvar, zonking
+        ``forall (a :: TYPE ρ). a -> a`` must produce binder kind
+        ``TYPE IntRep`` (the seed solver only zonked the body).
+        """
+        state = UnifierState()
+        rho = state.fresh_rep_uvar()
+        state.unify_reps(rho, INT_REP)
+        body_var = TyVar("a", TypeKind(rho))
+        sigma = ForAllTy((Binder("a", TypeKind(rho)),),
+                         fun(body_var, body_var))
+        zonked = state.zonk_type(sigma)
+        assert zonked.binders[0].kind == TypeKind(INT_REP)
+        assert zonked.body == fun(TyVar("a", TypeKind(INT_REP)),
+                                  TyVar("a", TypeKind(INT_REP)))
+
+    def test_kind_occurs_check(self):
+        """κ ~ (κ -> Type) must raise at bind time, not loop in zonk_kind."""
+        from repro.core.kinds import ArrowKind
+        state = UnifierState()
+        kappa = state.fresh_kind_uvar()
+        with pytest.raises(OccursCheckError):
+            state.unify_kinds(kappa, ArrowKind(kappa, TYPE_LIFTED))
+
+    def test_variable_variable_chains_collapse(self):
+        """A chain α0 ~ α1 ~ … ~ αn zonks every link to the one solution."""
+        state = UnifierState()
+        uvars = [state.fresh_type_uvar() for _ in range(50)]
+        for left, right in zip(uvars, uvars[1:]):
+            state.unify_types(left, right)
+        state.unify_types(uvars[25], INT_TY)
+        for var in uvars:
+            assert state.zonk_type(var) == INT_TY
+
 
 class TestInference:
     def test_literals(self):
