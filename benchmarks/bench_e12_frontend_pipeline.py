@@ -1,0 +1,180 @@
+"""E12: frontend pipeline throughput — parse → infer → levity → default.
+
+The concrete-syntax frontend turns programs into data, so the reproduction
+can finally be measured the way a batch service would run it: N textual
+programs per call through :meth:`repro.driver.Session.check_many`.  This
+benchmark generates a corpus of surface programs (unboxed loops, boxing /
+unboxing helpers, levity-polymorphic signatures, unboxed tuples — the
+paper's whole vocabulary) and measures the throughput of each pipeline
+stage in programs/second:
+
+* ``e12.lex``   — tokenisation only;
+* ``e12.parse`` — lexing + parsing + elaboration into the surface AST;
+* ``e12.check`` — the full batch pipeline (parse, infer, the Section 5.1
+  levity post-pass, Rep defaulting, scheme rendering);
+* ``e12.run``   — parse + infer + evaluate ``main`` on the cost-model
+  machine, over a smaller sample.
+
+Wall-clock numbers land in ``BENCH_perf.json`` under ``e12.*`` together
+with ``programs_per_sec`` counters.  Correctness is asserted always; the
+(deliberately loose) throughput floor is skipped under
+``BENCH_REPORT_ONLY`` like every other wall-clock gate.
+"""
+
+import pytest
+
+from benchreport import emit, record_counter, report_only, time_op
+from repro.driver import Session
+from repro.frontend import parse_module
+from repro.frontend.lexer import tokenize
+
+CORPUS_SIZE = 150
+RUN_SAMPLE = 12
+
+#: Very loose local floor: the seed hand-built ASTs because no textual
+#: pipeline existed at all, so any sustained throughput is new capability;
+#: the floor only trips pathological regressions (e.g. quadratic lexing).
+CHECK_FLOOR_PROGRAMS_PER_SEC = 30.0
+
+
+def make_corpus(count=CORPUS_SIZE):
+    """``count`` distinct programs covering the paper's vocabulary."""
+    sources = []
+    for i in range(count):
+        step = i % 5 + 1
+        limit = (i % 17 + 1) * 3
+        sources.append((f"gen_{i}.lev", f"""\
+-- generated program {i}
+myError{i} :: forall (r :: Rep) (a :: TYPE r). String -> a
+myError{i} s = error s
+
+add{i} :: Int# -> Int# -> Int#
+add{i} x y = x +# y
+
+unbox{i} :: Int -> Int#
+unbox{i} b = case b of {{ I# x -> x }}
+
+loop{i} :: Int# -> Int# -> Int#
+loop{i} acc n = case n <=# 0# of {{ 1# -> acc; _ -> loop{i} (add{i} acc n) (n -# {step}#) }}
+
+pair{i} :: Int# -> (# Int#, Int# #)
+pair{i} n = (# n, n *# n #)
+
+main :: Int#
+main = loop{i} (unbox{i} $ I# {i % 9}#) {limit}#
+"""))
+    return sources
+
+
+def _expected_main(i, count=CORPUS_SIZE):
+    step = i % 5 + 1
+    limit = (i % 17 + 1) * 3
+    acc = i % 9
+    n = limit
+    while n > 0:
+        acc += n
+        n -= step
+    return acc
+
+
+def _lex_corpus(corpus):
+    total = 0
+    for filename, source in corpus:
+        total += len(tokenize(source, filename))
+    return total
+
+
+def _parse_corpus(corpus):
+    modules = [parse_module(source, filename) for filename, source in corpus]
+    assert all(len(parsed.module.decls) == 12 for parsed in modules)
+    return modules
+
+
+def _check_corpus(corpus):
+    results = Session().check_many(corpus)
+    bad = [r.filename for r in results if not r.ok]
+    assert not bad, f"corpus programs failed to check: {bad[:3]}"
+    return results
+
+
+def _run_sample(corpus, sample=RUN_SAMPLE):
+    session = Session()
+    values = []
+    for index in range(0, len(corpus), max(1, len(corpus) // sample)):
+        filename, source = corpus[index]
+        result = session.run(source, filename)
+        assert result.ok, result.check.pretty()
+        values.append((index, result.value))
+    return values
+
+
+def test_report_frontend_pipeline_throughput():
+    corpus = make_corpus()
+
+    token_count = time_op("e12.lex", _lex_corpus, corpus,
+                          repeats=3, meta={"programs": CORPUS_SIZE})
+    time_op("e12.parse", _parse_corpus, corpus,
+            repeats=3, meta={"programs": CORPUS_SIZE})
+    results = time_op("e12.check", _check_corpus, corpus,
+                      repeats=3, meta={"programs": CORPUS_SIZE})
+    sample_values = time_op("e12.run", _run_sample, corpus,
+                            repeats=2, meta={"programs": RUN_SAMPLE})
+
+    # Cross-check a handful of evaluated results against Python arithmetic.
+    for index, value in sample_values:
+        assert value == f"{_expected_main(index)}#"
+    # Every binding in every program got a scheme.
+    assert all(len(r.bindings) == 6 for r in results)
+
+    import benchreport
+    timings = benchreport._TIMINGS
+    rows = []
+    throughput = {}
+    for stage in ("lex", "parse", "check"):
+        seconds = timings[f"e12.{stage}"]["seconds"]
+        programs_per_sec = CORPUS_SIZE / seconds
+        throughput[stage] = programs_per_sec
+        record_counter(f"e12.{stage}.programs_per_sec",
+                       round(programs_per_sec, 1))
+        rows.append((f"{stage} ({CORPUS_SIZE} programs)",
+                     "new capability (no textual frontend in seed)",
+                     f"{seconds * 1000:.1f}ms "
+                     f"({programs_per_sec:.0f} programs/s)"))
+    record_counter("e12.corpus.programs", CORPUS_SIZE)
+    record_counter("e12.corpus.tokens", token_count)
+    run_seconds = timings["e12.run"]["seconds"]
+    rows.append((f"run sample ({len(sample_values)} programs)",
+                 "parse+infer+evaluate end-to-end",
+                 f"{run_seconds * 1000:.1f}ms"))
+    emit("E12: frontend pipeline throughput (parse -> infer -> check -> run)",
+         rows)
+
+    if report_only():
+        pytest.skip("BENCH_REPORT_ONLY set: timings recorded, gate skipped")
+    assert throughput["check"] >= CHECK_FLOOR_PROGRAMS_PER_SEC, (
+        f"full-pipeline throughput {throughput['check']:.1f} programs/s "
+        f"fell below the {CHECK_FLOOR_PROGRAMS_PER_SEC} floor")
+
+
+def test_batch_checking_reuses_one_session():
+    """check_many over one Session must match per-program fresh Sessions."""
+    corpus = make_corpus(10)
+    batched = Session().check_many(corpus)
+    individual = [Session().check(source, filename)
+                  for filename, source in corpus]
+    for one, other in zip(batched, individual):
+        assert one.ok and other.ok
+        assert [b.rendered for b in one.bindings] == \
+            [b.rendered for b in other.bindings]
+
+
+def test_corpus_covers_levity_polymorphism():
+    """The generated corpus really exercises the paper's vocabulary."""
+    corpus = make_corpus(3)
+    results = Session().check_many(corpus)
+    for result in results:
+        my_error = [b for b in result.bindings
+                    if b.name.startswith("myError")][0]
+        assert my_error.scheme.is_levity_polymorphic()
+        pair = [b for b in result.bindings if b.name.startswith("pair")][0]
+        assert "(#" in pair.rendered

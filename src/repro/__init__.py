@@ -22,7 +22,11 @@ The package is organised around the paper's structure:
 * :mod:`repro.corpus` — the Section 8.1 survey of GHC's ``base``/``ghc-prim``
   classes and functions;
 * :mod:`repro.pretty` — pretty-printing with ``LiftedRep`` defaulting
-  (Section 8.1).
+  (Section 8.1);
+* :mod:`repro.frontend` — lexer + parser for the textual ``.lev`` surface
+  syntax, elaborating into :mod:`repro.surface` with source spans;
+* :mod:`repro.driver` — the end-to-end pipeline (parse → infer →
+  levity-check → default → compile/run) behind ``python -m repro``.
 """
 
 __version__ = "1.0.0"
@@ -40,4 +44,6 @@ __all__ = [
     "runtime",
     "corpus",
     "pretty",
+    "frontend",
+    "driver",
 ]

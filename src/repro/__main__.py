@@ -1,0 +1,182 @@
+"""``python -m repro`` — the command-line driver for ``.lev`` programs.
+
+Subcommands:
+
+* ``check file.lev [...]`` — run parse → infer → levity-check → defaulting
+  over one or more files; print each binding's scheme (GHCi-style rep
+  defaulting unless ``--explicit-reps``) and any diagnostics with source
+  spans.  Exit status 1 when any file fails.
+* ``run file.lev`` — check, then evaluate ``--entry`` (default ``main``)
+  on the cost-model machine; when the entry fits the L fragment it is also
+  compiled via Figure 7 and cross-checked on the M machine.
+* ``compile file.lev`` — check, lower the entry to the calculus L, compile
+  to the machine language M, show the code, and run it.
+* ``repl`` — a small read-eval-print loop (declarations accumulate;
+  ``:t expr`` shows a type; ``:q`` quits).
+
+Examples::
+
+    python -m repro check examples/*.lev
+    python -m repro run examples/sumto.lev
+    python -m repro compile examples/unbox_apply.lev
+    echo 'sumTo# 0# 10#' | python -m repro repl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .driver import DriverOptions, Session
+
+
+class _CliError(Exception):
+    """A usage-level failure reported as one line, not a traceback."""
+
+
+def _read_source(path: str) -> str:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except OSError as exc:
+        raise _CliError(f"cannot read {path}: {exc.strerror or exc}") \
+            from exc
+    except UnicodeDecodeError as exc:
+        raise _CliError(f"cannot decode {path}: {exc}") from exc
+
+
+def _options(args: argparse.Namespace) -> DriverOptions:
+    return DriverOptions(
+        explicit_runtime_reps=getattr(args, "explicit_reps", False),
+        run_levity_check=not getattr(args, "no_levity_check", False))
+
+
+def _check_json(results) -> str:
+    payload = []
+    for result in results:
+        payload.append({
+            "file": result.filename,
+            "ok": result.ok,
+            "bindings": [
+                {"name": b.name, "type": b.rendered, "ok": b.ok,
+                 "defaulted_rep_vars": list(b.defaulted_rep_vars)}
+                for b in result.bindings],
+            "diagnostics": [
+                {"severity": d.severity, "stage": d.stage,
+                 "message": d.message, "binding": d.binding,
+                 "line": d.span.line if d.span else None,
+                 "column": d.span.column if d.span else None}
+                for d in result.diagnostics],
+        })
+    return json.dumps(payload, indent=2)
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    session = Session(_options(args))
+    sources = [(path, _read_source(path)) for path in args.files]
+    results = session.check_many(sources)
+    if args.json:
+        print(_check_json(results))
+    else:
+        for result in results:
+            print(result.pretty())
+    return 0 if all(result.ok for result in results) else 1
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    session = Session(_options(args))
+    result = session.run(_read_source(args.file), args.file,
+                         entry=args.entry)
+    print(result.pretty())
+    return 0 if result.ok else 1
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    session = Session(_options(args))
+    result = session.compile(_read_source(args.file), args.file,
+                             entry=args.entry)
+    print(result.pretty())
+    return 0 if result.ok else 1
+
+
+def _cmd_repl(args: argparse.Namespace) -> int:
+    session = Session(_options(args))
+    interactive = sys.stdin.isatty()
+    if interactive:
+        print("repro repl — :t expr for types, :q to quit")
+    while True:
+        if interactive:
+            sys.stdout.write("lev> ")
+            sys.stdout.flush()
+        line = sys.stdin.readline()
+        if not line:
+            break
+        stripped = line.strip()
+        if stripped in (":q", ":quit"):
+            break
+        output = session.repl_input(line)
+        if output:
+            print(output)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Drive .lev surface programs through the levity-"
+                    "polymorphism pipeline (parse, infer, levity-check, "
+                    "compile, run).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="type-check files")
+    check.add_argument("files", nargs="+", help=".lev source files")
+    check.add_argument("--explicit-reps", action="store_true",
+                       help="print schemes with -fprint-explicit-runtime-reps")
+    check.add_argument("--no-levity-check", action="store_true",
+                       help="skip the Section 5.1 levity post-pass (ablation)")
+    check.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON")
+    check.set_defaults(func=_cmd_check)
+
+    run = sub.add_parser("run", help="check then evaluate an entry point")
+    run.add_argument("file", help=".lev source file")
+    run.add_argument("--entry", default="main",
+                     help="entry binding to evaluate (default: main)")
+    run.add_argument("--explicit-reps", action="store_true")
+    run.add_argument("--no-levity-check", action="store_true")
+    run.set_defaults(func=_cmd_run)
+
+    compile_ = sub.add_parser(
+        "compile", help="lower the entry to L, compile to M, run the machine")
+    compile_.add_argument("file", help=".lev source file")
+    compile_.add_argument("--entry", default="main")
+    compile_.add_argument("--explicit-reps", action="store_true")
+    compile_.set_defaults(func=_cmd_compile)
+
+    repl = sub.add_parser("repl", help="interactive read-eval-print loop")
+    repl.add_argument("--explicit-reps", action="store_true")
+    repl.set_defaults(func=_cmd_repl)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except _CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `| head`); exit quietly without
+        # tripping the interpreter's flush-at-exit traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""End-to-end driver for textual surface programs.
+
+``repro.driver`` glues the concrete-syntax frontend to the rest of the
+reproduction as one pipeline::
+
+    parse → infer → levity-check → Rep defaulting → pretty-print
+                                                   ↘ compile (L → M) → run
+
+* :class:`~repro.driver.session.Session` — cached-prelude sessions with
+  one-shot ``check``/``run``/``compile`` entry points, a batch
+  ``check_many`` API, and REPL state;
+* :class:`~repro.driver.session.Pipeline` — the staged checker producing
+  structured :class:`~repro.driver.session.Diagnostic` values with source
+  spans;
+* :mod:`repro.driver.lower` — the bridge from checked surface programs
+  into the formal calculus L (and from there through ``compile/`` to the
+  M machine).
+
+The ``python -m repro`` command line lives in :mod:`repro.__main__` and is
+a thin wrapper over this package.
+"""
+
+from .lower import LoweringError, lower_binding, lower_entry, lower_type
+from .session import (
+    BindingSummary,
+    CheckResult,
+    CompileResult,
+    Diagnostic,
+    DriverOptions,
+    Pipeline,
+    RunResult,
+    Session,
+)
+
+__all__ = [
+    "BindingSummary",
+    "CheckResult",
+    "CompileResult",
+    "Diagnostic",
+    "DriverOptions",
+    "LoweringError",
+    "Pipeline",
+    "RunResult",
+    "Session",
+    "lower_binding",
+    "lower_entry",
+    "lower_type",
+]

@@ -1,0 +1,231 @@
+"""Lowering checked surface programs into the formal calculus L.
+
+The paper's compilation story (Figure 7) is defined on the *small* calculus
+L, which has exactly two base types (``Int``/``Int#``), lambdas,
+applications, the ``I#`` box constructor and its unboxing ``case``.  This
+module bridges the surface language to that story: a checked surface
+binding whose signature and body stay inside the **L fragment** is lowered
+to a closed, explicitly-typed L term, which then flows through the existing
+``compile/`` (L→M) and ``lang_m`` machine layers.
+
+The L fragment (everything else raises :class:`LoweringError`):
+
+* types: ``Int``, ``Int#`` and function arrows between fragment types;
+* monomorphic bindings (no quantifiers, no constraints);
+* expressions: variables, application, annotated lambdas, unboxed integer
+  literals, boxed ``I#``-constructed integers (a bare boxed literal ``n``
+  lowers to ``I#[n]``), the unboxing ``case e of { I# x -> rhs }``, and
+  references to *earlier* fragment bindings (inlined — L has no top-level
+  definitions);
+* no recursion: L is strongly normalising, so a self-reference is
+  rejected.
+
+This partiality is the point, not a limitation: the Section 5.1
+restrictions exist precisely so that everything the *type checker* accepts
+can be compiled, and the driver reports a structured diagnostic when a
+program steps outside the fragment rather than failing mid-compile.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import CompilationError
+from ..infer.schemes import Scheme
+from ..lang_l.syntax import (
+    App,
+    Case,
+    Con,
+    INT,
+    INT_HASH,
+    LExpr,
+    LType,
+    Lam,
+    Lit,
+    TArrow,
+    Var,
+)
+from ..surface.ast import (
+    EAnn,
+    EApp,
+    ECase,
+    ELam,
+    ELet,
+    ELitInt,
+    ELitIntHash,
+    EVar,
+    Expr,
+    FunBind,
+    Module,
+)
+from ..surface.types import FunTy, INT_HASH_TY, INT_TY, QualTy, SType
+
+
+class LoweringError(CompilationError):
+    """The program is well-typed but outside the compilable L fragment."""
+
+
+def lower_type(type_: SType) -> LType:
+    """Lower a surface type into L (``Int``, ``Int#`` and arrows only)."""
+    if type_ == INT_TY:
+        return INT
+    if type_ == INT_HASH_TY:
+        return INT_HASH
+    if isinstance(type_, FunTy):
+        return TArrow(lower_type(type_.argument), lower_type(type_.result))
+    raise LoweringError(
+        f"type {type_.pretty()} is outside the L fragment "
+        "(only Int, Int# and arrows between them lower)")
+
+
+def _signature_param_types(scheme: Scheme, params: Sequence[str]
+                           ) -> Tuple[List[SType], SType]:
+    if scheme.rep_binders or scheme.type_binders or scheme.constraints:
+        raise LoweringError(
+            "polymorphic bindings are outside the L fragment "
+            f"(scheme {scheme.pretty()})")
+    current: SType = scheme.body
+    if isinstance(current, QualTy):
+        raise LoweringError("qualified types are outside the L fragment")
+    param_types: List[SType] = []
+    for param in params:
+        if not isinstance(current, FunTy):
+            raise LoweringError(
+                f"binding has more parameters than its type "
+                f"{scheme.body.pretty()} provides")
+        param_types.append(current.argument)
+        current = current.result
+    return param_types, current
+
+
+class _Lowerer:
+    def __init__(self, inline: Dict[str, LExpr]) -> None:
+        self.inline = inline
+        self.bound: List[str] = []
+
+    def lower(self, expr: Expr) -> LExpr:
+        if isinstance(expr, EVar):
+            if expr.name in self.bound:
+                return Var(expr.name)
+            inlined = self.inline.get(expr.name)
+            if inlined is not None:
+                return inlined
+            raise LoweringError(
+                f"variable {expr.name!r} is outside the L fragment "
+                "(not a parameter or an earlier fragment binding)")
+
+        if isinstance(expr, ELitIntHash):
+            return Lit(expr.value)
+
+        if isinstance(expr, ELitInt):
+            # A boxed literal is sugar for I#[n] in L.
+            return Con(Lit(expr.value))
+
+        if isinstance(expr, EAnn):
+            return self.lower(expr.expr)
+
+        if isinstance(expr, EApp):
+            if isinstance(expr.function, EVar) and \
+                    expr.function.name == "I#" and \
+                    "I#" not in self.bound:
+                return Con(self.lower(expr.argument))
+            return App(self.lower(expr.function), self.lower(expr.argument))
+
+        if isinstance(expr, ELam):
+            if expr.annotation is None:
+                raise LoweringError(
+                    f"lambda binder {expr.var!r} needs a type annotation to "
+                    "lower into the explicitly-typed L")
+            self.bound.append(expr.var)
+            try:
+                body = self.lower(expr.body)
+            finally:
+                self.bound.pop()
+            return Lam(expr.var, lower_type(expr.annotation), body)
+
+        if isinstance(expr, ECase):
+            alternatives = expr.alternatives
+            if len(alternatives) == 1 and \
+                    alternatives[0].constructor == "I#" and \
+                    len(alternatives[0].binders) == 1:
+                scrutinee = self.lower(expr.scrutinee)
+                binder = alternatives[0].binders[0]
+                self.bound.append(binder)
+                try:
+                    body = self.lower(alternatives[0].rhs)
+                finally:
+                    self.bound.pop()
+                return Case(scrutinee, binder, body)
+            raise LoweringError(
+                "only the unboxing case e of { I# x -> rhs } is in the "
+                "L fragment")
+
+        if isinstance(expr, ELet):
+            # let x = rhs in body  ~~>  (\x:t. body) rhs needs a type; only
+            # annotated lets lower.
+            if expr.signature is None:
+                raise LoweringError(
+                    f"let binder {expr.var!r} needs a type signature to "
+                    "lower into L")
+            self.bound.append(expr.var)
+            try:
+                body = self.lower(expr.body)
+            finally:
+                self.bound.pop()
+            rhs = self.lower(expr.rhs)
+            return App(Lam(expr.var, lower_type(expr.signature), body), rhs)
+
+        raise LoweringError(
+            f"expression {expr.pretty()!r} is outside the L fragment")
+
+
+def lower_binding(bind: FunBind, scheme: Scheme,
+                  inline: Dict[str, LExpr]) -> LExpr:
+    """Lower one checked binding to a closed L term.
+
+    ``inline`` maps earlier top-level fragment bindings to their (closed)
+    lowered terms; occurrences are inlined because L has no top-level
+    definition form.
+    """
+    param_types, _ = _signature_param_types(scheme, bind.params)
+    lowerer = _Lowerer(inline)
+    lowerer.bound.extend(bind.params)
+    if bind.name in lowerer.bound:
+        raise LoweringError(f"parameter shadows the binding {bind.name!r}")
+    if bind.name in bind.rhs.free_vars() - frozenset(bind.params):
+        raise LoweringError(
+            f"binding {bind.name!r} is recursive; L is strongly "
+            "normalising and has no fixpoint")
+    body = lowerer.lower(bind.rhs)
+    for param, param_type in zip(reversed(bind.params),
+                                 reversed(param_types)):
+        body = Lam(param, lower_type(param_type), body)
+    return body
+
+
+def lower_entry(module: Module, schemes: Dict[str, Scheme],
+                entry: str = "main") -> LExpr:
+    """Lower ``entry`` (with earlier fragment bindings inlined) to L.
+
+    Walks the module in declaration order, lowering every binding that
+    stays inside the fragment so later bindings may reference it; bindings
+    outside the fragment are skipped unless they are the entry itself.
+    """
+    inline: Dict[str, LExpr] = {}
+    entry_term: Optional[LExpr] = None
+    for name, bind in module.bindings().items():
+        scheme = schemes.get(name)
+        if scheme is None:
+            continue
+        try:
+            lowered = lower_binding(bind, scheme, inline)
+        except LoweringError:
+            if name == entry:
+                raise
+            continue
+        inline[name] = lowered
+        if name == entry:
+            entry_term = lowered
+    if entry_term is None:
+        raise LoweringError(f"no binding named {entry!r} to lower")
+    return entry_term

@@ -1,0 +1,614 @@
+"""The end-to-end driver pipeline: parse → infer → levity-check → default →
+pretty-print / compile / run.
+
+Two layers:
+
+* :class:`Pipeline` — the staged checker.  Each stage consumes the state
+  produced by the previous one and appends structured
+  :class:`Diagnostic` values (with source spans from the frontend) instead
+  of raising, so one bad binding never hides the others: the pipeline
+  checks every binding of every module it is given, exactly like a batch
+  compiler.
+
+* :class:`Session` — a long-lived wrapper that caches the prelude
+  environment, exposes the one-shot conveniences (:meth:`Session.check`,
+  :meth:`Session.run`, :meth:`Session.compile`) and the **batch API**
+  (:meth:`Session.check_many`) used by the throughput benchmark and the
+  CLI, plus the small amount of mutable state the REPL needs.
+
+Stage inventory (``Pipeline.STAGES``):
+
+``parse``
+    :mod:`repro.frontend` — source text to surface AST with spans.
+``infer``
+    :mod:`repro.infer` — per-binding type inference / signature checking.
+    Each binding gets a fresh :class:`~repro.infer.infer.Inferencer` so a
+    unification failure in one binding cannot poison the next; bindings
+    still see every earlier binding's scheme through the environment.
+``levity``
+    the Section 5.1 post-pass (already threaded through ``infer_binding``);
+    violations become diagnostics carrying the binding's source span.
+``default``
+    Rep defaulting (Section 5.2) — surfaced as the per-binding
+    ``defaulted_rep_vars`` so callers can see "never infer levity
+    polymorphism" happening.
+``compile``
+    the optional L→M bridge (:mod:`repro.driver.lower` +
+    :mod:`repro.compile`) for entries inside the L fragment.
+``run``
+    the cost-model evaluator (:mod:`repro.runtime`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.errors import ParseError, ReproError
+from ..frontend.lexer import Span
+from ..frontend.parser import ParsedModule, parse_expr, parse_module
+from ..infer.infer import Inferencer, InferOptions
+from ..infer.schemes import Scheme, TypeEnv
+from ..pretty.printer import PrinterOptions, render_scheme
+from ..surface.ast import FunBind, Module, TypeSig
+from ..surface.prelude import prelude_env
+
+__all__ = [
+    "Diagnostic",
+    "BindingSummary",
+    "CheckResult",
+    "RunResult",
+    "CompileResult",
+    "Pipeline",
+    "Session",
+]
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured finding, with a source span when one is known."""
+
+    severity: str          # "error" | "warning" | "note"
+    stage: str             # "parse" | "infer" | "levity" | "compile" | "run"
+    message: str
+    filename: str = "<input>"
+    span: Optional[Span] = None
+    binding: Optional[str] = None
+
+    def pretty(self) -> str:
+        location = self.filename
+        if self.span is not None:
+            location = f"{self.filename}:{self.span.line}:{self.span.column}"
+        subject = f" in {self.binding!r}" if self.binding else ""
+        return f"{location}: {self.stage} {self.severity}{subject}: " \
+               f"{self.message}"
+
+    def __repr__(self) -> str:
+        return self.pretty()
+
+
+@dataclass
+class BindingSummary:
+    """What the pipeline learned about one top-level binding."""
+
+    name: str
+    scheme: Optional[Scheme]
+    rendered: str
+    ok: bool
+    defaulted_rep_vars: Tuple[str, ...] = ()
+    span: Optional[Span] = None
+
+
+@dataclass
+class CheckResult:
+    """Outcome of running a module through parse → infer → levity → default."""
+
+    filename: str
+    ok: bool = True
+    bindings: List[BindingSummary] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    parsed: Optional[ParsedModule] = None
+    env: Optional[TypeEnv] = None
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    def scheme_of(self, name: str) -> Optional[Scheme]:
+        # Last match wins, consistent with Module.bindings() on redefinition.
+        for binding in reversed(self.bindings):
+            if binding.name == name:
+                return binding.scheme
+        return None
+
+    def pretty(self) -> str:
+        lines: List[str] = []
+        for binding in self.bindings:
+            if binding.ok:
+                lines.append(f"{binding.name} :: {binding.rendered}")
+        lines.extend(d.pretty() for d in self.diagnostics)
+        status = "ok" if self.ok else "FAILED"
+        lines.append(f"{self.filename}: {status} "
+                     f"({len(self.bindings)} binding(s), "
+                     f"{len(self.errors)} error(s))")
+        return "\n".join(lines)
+
+
+@dataclass
+class RunResult:
+    """Outcome of evaluating an entry point on the cost-model machine."""
+
+    check: CheckResult
+    entry: str
+    ok: bool = False
+    value: str = ""
+    costs: Dict[str, int] = field(default_factory=dict)
+    #: Filled in when the entry also lowered to L and ran on the M machine.
+    machine_value: Optional[str] = None
+    machine_steps: Optional[int] = None
+    machine_agrees: Optional[bool] = None
+
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        return self.check.diagnostics
+
+    def pretty(self) -> str:
+        lines = [self.check.pretty()]
+        if self.ok:
+            lines.append(f"{self.entry} = {self.value}")
+            lines.append(
+                "costs: " + ", ".join(
+                    f"{key}={value}" for key, value in self.costs.items()
+                    if key in ("heap_allocations", "thunk_forces", "primops",
+                               "function_calls", "estimated_cycles")))
+            if self.machine_value is not None:
+                verdict = ("agrees" if self.machine_agrees
+                           else "DISAGREES")
+                lines.append(f"M machine {verdict}: {self.machine_value} "
+                             f"({self.machine_steps} steps)")
+        return "\n".join(lines)
+
+
+@dataclass
+class CompileResult:
+    """Outcome of the L→M bridge on one entry point."""
+
+    check: CheckResult
+    entry: str
+    ok: bool = False
+    l_source: str = ""
+    l_type: str = ""
+    m_code: str = ""
+    machine_value: Optional[str] = None
+    machine_steps: Optional[int] = None
+    lazy_lets: int = 0
+    strict_lets: int = 0
+
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        return self.check.diagnostics
+
+    def pretty(self) -> str:
+        lines = [self.check.pretty()]
+        if self.ok:
+            lines.append(f"L  source : {self.l_source}")
+            lines.append(f"L  type   : {self.l_type}")
+            lines.append(f"M  code   : {self.m_code}")
+            if self.machine_value is not None:
+                lines.append(f"M  result : {self.machine_value} "
+                             f"({self.machine_steps} machine steps)")
+        return "\n".join(lines)
+
+
+def _program_from_check(module: Module, check: CheckResult):
+    """Build an executable Program from already-inferred schemes.
+
+    ``Program.from_module`` would re-run inference over the whole module;
+    the pipeline just did that, so reuse its schemes to derive each
+    function's calling convention.
+    """
+    from ..runtime.evaluator import (
+        Program,
+        ProgramFunction,
+        _param_strictness,
+    )
+
+    program = Program()
+    for name, bind in module.bindings().items():
+        scheme = check.scheme_of(name)
+        strictness = _param_strictness(scheme, len(bind.params))
+        program.functions[name] = ProgramFunction(
+            name, bind.params, strictness, bind.rhs, scheme)
+    return program
+
+
+def _values_agree(evaluator_value: str, machine_value: str) -> bool:
+    """Do the cost-model evaluator and the M machine show the same result?
+
+    The compilable fragment only produces integers (raw ``42#`` vs the
+    machine's ``42``) and boxed integers (``I# 42#`` vs ``I#[42]``), so
+    comparing the integer literals of the two renderings is exact.
+    """
+    import re
+
+    return (re.findall(r"-?\d+", evaluator_value)
+            == re.findall(r"-?\d+", machine_value))
+
+
+# ---------------------------------------------------------------------------
+# The pipeline
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DriverOptions:
+    """Behaviour switches shared by the pipeline, the CLI and the REPL."""
+
+    #: Mirror of ``-fprint-explicit-runtime-reps`` for rendered schemes.
+    explicit_runtime_reps: bool = False
+    #: Skip the Section 5.1 post-pass (ablation; mirrors InferOptions).
+    run_levity_check: bool = True
+    #: Step budget for the M machine when the compile bridge runs.
+    max_machine_steps: int = 1_000_000
+
+    def printer_options(self) -> PrinterOptions:
+        return PrinterOptions(
+            print_explicit_runtime_reps=self.explicit_runtime_reps)
+
+    def infer_options(self) -> InferOptions:
+        return InferOptions(collect_levity_violations=True,
+                            run_levity_check=self.run_levity_check)
+
+
+class Pipeline:
+    """The staged parse → infer → levity → default checker."""
+
+    STAGES = ("parse", "infer", "levity", "default")
+
+    def __init__(self, base_env: TypeEnv,
+                 options: Optional[DriverOptions] = None) -> None:
+        self.base_env = base_env
+        self.options = options or DriverOptions()
+
+    # -- parse ---------------------------------------------------------------
+
+    def parse(self, source: str, filename: str) -> Tuple[Optional[ParsedModule],
+                                                         List[Diagnostic]]:
+        try:
+            return parse_module(source, filename), []
+        except ParseError as exc:
+            span = Span(exc.line or 1, exc.column or 1,
+                        exc.line or 1, exc.column or 1)
+            message = str(exc)
+            prefix = f"{exc.line}:{exc.column}: "
+            if message.startswith(prefix):
+                # The span already carries the position; don't print it twice.
+                message = message[len(prefix):]
+            return None, [Diagnostic("error", "parse", message,
+                                     filename, span)]
+
+    # -- infer + levity + default -------------------------------------------
+
+    def check(self, source: str, filename: str = "<input>") -> CheckResult:
+        parsed, diagnostics = self.parse(source, filename)
+        result = CheckResult(filename, parsed=parsed)
+        result.diagnostics.extend(diagnostics)
+        if parsed is None:
+            result.ok = False
+            return result
+        self._check_module(parsed, result)
+        result.ok = not result.errors
+        return result
+
+    def _check_module(self, parsed: ParsedModule,
+                      result: CheckResult) -> None:
+        module = parsed.module
+        filename = parsed.filename
+        signatures = module.signatures()
+        bound_names = set(module.bindings())
+        env = self.base_env
+
+        for decl in module.decls:
+            if isinstance(decl, TypeSig) and decl.name not in bound_names:
+                result.diagnostics.append(Diagnostic(
+                    "warning", "infer",
+                    f"type signature for {decl.name!r} lacks a binding",
+                    filename, parsed.decl_spans.get(("sig", decl.name)),
+                    decl.name))
+                continue
+            if not isinstance(decl, FunBind):
+                continue
+
+            span = parsed.span_of_binding(decl.name)
+            signature = signatures.get(decl.name)
+            inferencer = Inferencer(self.options.infer_options())
+            try:
+                binding = inferencer.infer_binding(
+                    env, decl.name, decl.params, decl.rhs, signature)
+            except ReproError as exc:
+                stage = "levity" if "levity" in type(exc).__name__.lower() \
+                    else "infer"
+                result.diagnostics.append(Diagnostic(
+                    "error", stage, str(exc), filename, span, decl.name))
+                result.bindings.append(BindingSummary(
+                    decl.name, None, "", False, span=span))
+                if signature is not None:
+                    # Later bindings may still check against the declaration.
+                    env = env.bind(decl.name, Scheme.from_type(signature))
+                continue
+
+            ok = binding.ok
+            for violation in binding.levity_report.violations:
+                result.diagnostics.append(Diagnostic(
+                    "error", "levity", violation.pretty(),
+                    filename, span, decl.name))
+            rendered = render_scheme(binding.scheme,
+                                     self.options.printer_options())
+            result.bindings.append(BindingSummary(
+                decl.name, binding.scheme, rendered, ok,
+                binding.defaulted_rep_vars, span))
+            env = env.bind(decl.name, binding.scheme)
+
+        result.env = env
+
+
+# ---------------------------------------------------------------------------
+# Sessions
+# ---------------------------------------------------------------------------
+
+
+class Session:
+    """A long-lived driver session: cached prelude, batch checking, REPL state."""
+
+    def __init__(self, options: Optional[DriverOptions] = None) -> None:
+        self.options = options or DriverOptions()
+        self._base_env = prelude_env()
+        self.pipeline = Pipeline(self._base_env, self.options)
+        #: Accumulated declaration sources for the REPL, plus the cached
+        #: CheckResult for them (declarations are immutable between lines,
+        #: so re-checking the whole module per expression would be O(n²)
+        #: over a session).
+        self._repl_decls: List[str] = []
+        self._repl_check: Optional[CheckResult] = None
+
+    # -- the one-shot pipeline entry points ----------------------------------
+
+    def check(self, source: str, filename: str = "<input>") -> CheckResult:
+        """parse → infer → levity-check → Rep-default one module."""
+        return self.pipeline.check(source, filename)
+
+    def check_many(self, sources: Iterable[Tuple[str, str]]
+                   ) -> List[CheckResult]:
+        """Batch API: check many ``(filename, source)`` programs per call.
+
+        Reuses the cached prelude environment across programs — the
+        throughput benchmarks (``bench_e12``) and the CLI's multi-file mode
+        both call this.
+        """
+        return [self.pipeline.check(source, filename)
+                for filename, source in sources]
+
+    def run(self, source: str, filename: str = "<input>",
+            entry: str = "main") -> RunResult:
+        """Check, then evaluate ``entry`` on the cost-model machine.
+
+        When the entry also fits the compilable L fragment, the program is
+        additionally lowered, compiled to M (Figure 7) and executed on the
+        M machine as a cross-check.
+        """
+        check = self.check(source, filename)
+        result = RunResult(check, entry)
+        if not check.ok:
+            return result
+
+        from ..runtime.evaluator import Evaluator
+
+        module = check.parsed.module
+        if entry not in module.bindings():
+            check.diagnostics.append(Diagnostic(
+                "error", "run", f"no entry point named {entry!r}", filename))
+            check.ok = False
+            return result
+        entry_bind = module.bindings()[entry]
+        if entry_bind.params:
+            check.diagnostics.append(Diagnostic(
+                "error", "run",
+                f"entry point {entry!r} must take no parameters "
+                f"(it takes {len(entry_bind.params)})",
+                filename, check.parsed.span_of_binding(entry), entry))
+            check.ok = False
+            return result
+
+        try:
+            program = _program_from_check(module, check)
+            evaluator = Evaluator(program)
+            value = evaluator.force(evaluator.eval(entry_bind.rhs))
+            result.value = value.show(evaluator.heap)
+            result.costs = evaluator.costs.as_dict()
+            result.ok = True
+        except ReproError as exc:
+            check.diagnostics.append(Diagnostic(
+                "error", "run", str(exc), filename,
+                check.parsed.span_of_binding(entry), entry))
+            check.ok = False
+            return result
+
+        self._try_machine_crosscheck(check, entry, result)
+        return result
+
+    def _try_machine_crosscheck(self, check: CheckResult, entry: str,
+                                result: RunResult) -> None:
+        """Lower + compile + run on the M machine when the fragment allows."""
+        from .lower import LoweringError, lower_entry
+
+        schemes = {b.name: b.scheme for b in check.bindings
+                   if b.scheme is not None}
+        try:
+            term = lower_entry(check.parsed.module, schemes, entry)
+        except LoweringError as exc:
+            check.diagnostics.append(Diagnostic(
+                "note", "compile",
+                f"entry not cross-checked on the M machine: {exc}",
+                check.filename, binding=entry))
+            return
+        try:
+            from ..compile.compiler import compile_and_run
+
+            outcome = compile_and_run(
+                term, max_steps=self.options.max_machine_steps)
+            result.machine_value = ("error" if outcome.aborted
+                                    else outcome.unwrap().pretty())
+            result.machine_steps = outcome.costs.steps
+            result.machine_agrees = (not outcome.aborted
+                                     and _values_agree(result.value,
+                                                       result.machine_value))
+            if not result.machine_agrees:
+                check.diagnostics.append(Diagnostic(
+                    "warning", "compile",
+                    f"M machine result {result.machine_value!r} disagrees "
+                    f"with the evaluator's {result.value!r}",
+                    check.filename, binding=entry))
+        except ReproError as exc:
+            check.diagnostics.append(Diagnostic(
+                "warning", "compile",
+                f"L→M cross-check failed: {exc}", check.filename,
+                binding=entry))
+
+    def compile(self, source: str, filename: str = "<input>",
+                entry: str = "main") -> CompileResult:
+        """Check, lower ``entry`` to L, compile to M, and run the machine."""
+        check = self.check(source, filename)
+        result = CompileResult(check, entry)
+        if not check.ok:
+            return result
+
+        from .lower import LoweringError, lower_entry
+        from ..compile.compiler import compile_expr
+        from ..lang_l.typing import type_of
+        from ..lang_l.syntax import Context
+        from ..lang_m.machine import run as run_machine
+
+        schemes = {b.name: b.scheme for b in check.bindings
+                   if b.scheme is not None}
+        try:
+            term = lower_entry(check.parsed.module, schemes, entry)
+            l_type = type_of(Context(), term)
+            compiled = compile_expr(term)
+            outcome = run_machine(compiled.code,
+                                  max_steps=self.options.max_machine_steps)
+        except (LoweringError, ReproError) as exc:
+            check.diagnostics.append(Diagnostic(
+                "error", "compile", str(exc), filename,
+                check.parsed.span_of_binding(entry), entry))
+            check.ok = False
+            return result
+
+        result.ok = True
+        result.l_source = term.pretty()
+        result.l_type = l_type.pretty()
+        result.m_code = compiled.pretty()
+        result.lazy_lets = compiled.lazy_lets
+        result.strict_lets = compiled.strict_lets
+        result.machine_value = ("error" if outcome.aborted
+                                else outcome.unwrap().pretty())
+        result.machine_steps = outcome.costs.steps
+        return result
+
+    # -- REPL support ---------------------------------------------------------
+
+    def repl_input(self, line: str) -> str:
+        """Process one REPL line; returns the text to display."""
+        stripped = line.strip()
+        if not stripped:
+            return ""
+        if stripped.startswith(":t "):
+            return self._repl_type_of(stripped[3:])
+        if stripped.startswith(":"):
+            return f"unknown command {stripped.split()[0]!r} " \
+                   "(try :t expr, :q)"
+        as_decl = self._try_parse_decl(stripped)
+        if as_decl is not None:
+            # Use the stripped line: pasted indentation must not trip the
+            # column-1 declaration rule when the module is re-assembled.
+            return self._repl_add_decl(stripped, as_decl)
+        return self._repl_eval(stripped)
+
+    @staticmethod
+    def _try_parse_decl(line: str):
+        try:
+            parsed = parse_module(line, "<repl>")
+        except ParseError:
+            return None
+        return parsed.module.decls[-1] if parsed.module.decls else None
+
+    def _repl_add_decl(self, line: str, added) -> str:
+        candidate = self._repl_decls + [line.rstrip()]
+        check = self.pipeline.check("\n".join(candidate) + "\n", "<repl>")
+        if not check.ok:
+            return "\n".join(d.pretty() for d in check.errors)
+        self._repl_decls = candidate
+        self._repl_check = check
+        if isinstance(added, FunBind):
+            for binding in reversed(check.bindings):
+                if binding.name == added.name:
+                    return f"{binding.name} :: {binding.rendered}"
+        return "defined."
+
+    def _repl_env(self) -> Optional[CheckResult]:
+        return self._repl_check if self._repl_decls else None
+
+    def _repl_type_of(self, text: str) -> str:
+        from ..infer.infer import infer_binding
+
+        try:
+            expr = parse_expr(text, "<repl>")
+        except ParseError as exc:
+            return f"parse error: {exc}"
+        check = self._repl_env()
+        env = check.env if check is not None else self._base_env
+        try:
+            # Infer as a synthetic binding "it = <expr>" so the scheme is
+            # generalised with Rep defaulting, exactly as GHCi's :type does.
+            binding = infer_binding("it", (), expr, env=env,
+                                    options=self.options.infer_options())
+        except ReproError as exc:
+            return f"type error: {exc}"
+        if not binding.ok:
+            return "type error: " + binding.levity_report.pretty()
+        return f"{text.strip()} :: " \
+               f"{render_scheme(binding.scheme, self.options.printer_options())}"
+
+    def _repl_eval(self, text: str) -> str:
+        from ..infer.infer import infer_binding
+        from ..runtime.evaluator import Evaluator
+
+        try:
+            expr = parse_expr(text, "<repl>")
+        except ParseError as exc:
+            return f"parse error: {exc}"
+        check = self._repl_env()
+        env = check.env if check is not None else self._base_env
+        try:
+            binding = infer_binding("it", (), expr, env=env,
+                                    options=self.options.infer_options())
+            if not binding.ok:
+                return "type error: " + binding.levity_report.pretty()
+        except ReproError as exc:
+            return f"type error: {exc}"
+        try:
+            if check is not None:
+                program = _program_from_check(check.parsed.module, check)
+            else:
+                from ..runtime.evaluator import Program
+
+                program = Program()
+            evaluator = Evaluator(program)
+            value = evaluator.force(evaluator.eval(expr))
+            return value.show(evaluator.heap)
+        except ReproError as exc:
+            return f"runtime error: {exc}"

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from ..core.kinds import Kind, TypeKind
+from ..core.kinds import Kind, TYPE_LIFTED, TypeKind
 from ..core.rep import LIFTED, Rep, RepVar
 from ..infer.schemes import Scheme
 from ..surface.types import ForAllTy, SType
@@ -54,6 +54,13 @@ def render_scheme(scheme: Scheme,
 
     displayed = default_reps_for_display(scheme)
     if options.print_explicit_foralls:
+        return displayed.pretty(explicit_runtime_reps=False)
+
+    if any(kind != TYPE_LIFTED for _, kind in displayed.type_binders):
+        # A binder whose kind is not Type even after defaulting (for example
+        # ``(a :: TYPE IntRep)``) carries information the bare body cannot:
+        # keep the telescope so the rendering parses back to the same
+        # scheme.  (Printer gap found by the frontend round-trip tests.)
         return displayed.pretty(explicit_runtime_reps=False)
 
     # Hide the forall telescope entirely (every binder kind is now Type, so

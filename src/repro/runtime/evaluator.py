@@ -350,9 +350,16 @@ class Evaluator:
         cached = self._static_cache.get(f"fun:{function.name}")
         if cached is not None:
             return cached
-        closure = Closure(function.name, function.params,
-                          function.param_strict, function.body, {})
-        ref = self.heap.allocate(closure, static=True)
+        if function.params:
+            obj: HeapObject = Closure(function.name, function.params,
+                                      function.param_strict, function.body,
+                                      {})
+        else:
+            # A zero-parameter binding is a CAF: referencing it must
+            # evaluate (and memoise) its body, not hand out an unapplicable
+            # closure.
+            obj = Thunk(lambda: self._eval(function.body, {}))
+        ref = self.heap.allocate(obj, static=True)
         self._static_cache[f"fun:{function.name}"] = ref
         return ref
 
@@ -425,6 +432,13 @@ class Evaluator:
             # Boxed helpers (plusInt & co.) are top-level code: their outer
             # closure is static, exactly like a compiled definition.
             value = self._eval(_BOXED_HELPERS[name], {})
+        elif name in ("error", "errorWithoutStackTrace"):
+            # The levity-polymorphic error of Section 8.1: one strict String
+            # argument, then ⊥ at any representation.
+            value = self.heap.allocate(
+                PrimOpValue(name, 1, _raise_error(name)), static=True)
+        elif name == "undefined":
+            raise EvaluationError("Prelude.undefined")
         else:
             value = None
             class_env = self.program.class_env
@@ -628,4 +642,20 @@ _BOXED_HELPERS: Dict[str, Expr] = {
     "not": ELam("b", ECase(EVar("b"),
                            [Alternative("True", [], EVar("False")),
                             Alternative("False", [], EVar("True"))])),
+    # The levity-generalised functions of Section 8.1 whose definitions are
+    # representation-irrelevant: after type erasure ($) really is just
+    # application and (.) really is composition, whatever the result rep.
+    "$": ELam("f", ELam("x", EApp(EVar("f"), EVar("x")))),
+    ".": ELam("f", ELam("g", ELam("x", EApp(EVar("f"),
+                                            EApp(EVar("g"), EVar("x")))))),
+    "oneShot": ELam("f", EVar("f")),
+    "runRW#": ELam("f", EApp(EVar("f"), EUnboxedTuple(()))),
 }
+
+
+def _raise_error(name: str) -> Callable[..., Value]:
+    def run(message: Value) -> Value:
+        text = message.value if isinstance(message, StringValue) else \
+            repr(message)
+        raise EvaluationError(f"{name}: {text}")
+    return run

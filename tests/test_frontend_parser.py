@@ -1,0 +1,321 @@
+"""Unit tests for the concrete-syntax frontend (lexer + parser)."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.core.kinds import (
+    ArrowKind,
+    CONSTRAINT,
+    REP_KIND,
+    TYPE_INT,
+    TYPE_LIFTED,
+    TypeKind,
+)
+from repro.core.rep import DOUBLE_REP, INT_REP, RepVar, SumRep, TupleRep
+from repro.frontend import parse_expr, parse_module, parse_scheme, parse_type
+from repro.frontend.lexer import tokenize
+from repro.surface.ast import (
+    EAnn,
+    EApp,
+    EBool,
+    ECase,
+    EIf,
+    ELam,
+    ELet,
+    ELitDoubleHash,
+    ELitInt,
+    ELitIntHash,
+    ELitString,
+    EUnboxedTuple,
+    EVar,
+    FunBind,
+    TypeSig,
+)
+from repro.surface.types import (
+    Binder,
+    BOOL_TY,
+    ClassConstraint,
+    ForAllTy,
+    FunTy,
+    INT_HASH_TY,
+    INT_TY,
+    QualTy,
+    TyApp,
+    TyVar,
+    UnboxedTupleTy,
+    fun,
+)
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+
+def kinds_of(source):
+    return [t.kind for t in tokenize(source)]
+
+
+class TestLexer:
+    def test_identifiers_and_hashes(self):
+        tokens = tokenize("sumTo# Int# x' _ignore")
+        assert [(t.kind, t.text) for t in tokens[:-1]] == [
+            ("varid", "sumTo#"), ("conid", "Int#"), ("varid", "x'"),
+            ("varid", "_ignore")]
+
+    def test_literals(self):
+        tokens = tokenize('42 7# 2.5## "hi\\n" \'c\'')
+        assert [(t.kind, t.value) for t in tokens[:-1]] == [
+            ("int", 42), ("inthash", 7), ("doublehash", 2.5),
+            ("string", "hi\n"), ("char", "c")]
+
+    def test_unboxed_tuple_brackets(self):
+        assert kinds_of("(# Int#, a #)") == [
+            "lhash", "conid", "comma", "varid", "rhash", "eof"]
+        assert kinds_of("(# #)") == ["lhash", "rhash", "eof"]
+
+    def test_operator_section_is_not_lhash(self):
+        # '(' directly followed by a symbolic operator must stay a paren.
+        assert kinds_of("(+#)") == ["lparen", "symbol", "rparen", "eof"]
+
+    def test_comments(self):
+        assert kinds_of("x -- trailing\n{- block {- nested -} -} y") == [
+            "varid", "varid", "eof"]
+
+    def test_spans_are_one_based(self):
+        token = tokenize("  foo")[0]
+        assert (token.line, token.column) == (1, 3)
+        token = tokenize("a\n  bar")[1]
+        assert (token.line, token.column) == (2, 3)
+
+    def test_boxed_fractional_literal_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("2.5")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+
+# ---------------------------------------------------------------------------
+# Types and kinds
+# ---------------------------------------------------------------------------
+
+
+class TestTypes:
+    def test_explicit_telescope(self):
+        type_ = parse_type(
+            "forall (r :: Rep) (a :: Type) (b :: TYPE r). (a -> b) -> a -> b")
+        assert isinstance(type_, ForAllTy)
+        assert type_.binders == (
+            Binder("r", REP_KIND),
+            Binder("a", TYPE_LIFTED),
+            Binder("b", TypeKind(RepVar("r"))))
+        b = TyVar("b", TypeKind(RepVar("r")))
+        a = TyVar("a", TYPE_LIFTED)
+        assert type_.body == fun(FunTy(a, b), a, b)
+
+    def test_implicit_quantification_in_occurrence_order(self):
+        scheme = parse_scheme("(b -> a) -> b")
+        assert [name for name, _ in scheme.type_binders] == ["b", "a"]
+        assert all(kind == TYPE_LIFTED for _, kind in scheme.type_binders)
+
+    def test_concrete_kinds(self):
+        type_ = parse_type("forall (a :: TYPE IntRep). a -> Int")
+        assert type_.binders[0].kind == TYPE_INT
+
+    def test_tuple_and_sum_reps(self):
+        type_ = parse_type(
+            "forall (a :: TYPE TupleRep [IntRep, DoubleRep]). a")
+        assert type_.binders[0].kind == TypeKind(
+            TupleRep((INT_REP, DOUBLE_REP)))
+        type_ = parse_type("forall (a :: TYPE SumRep [IntRep | DoubleRep]). a")
+        assert type_.binders[0].kind == TypeKind(
+            SumRep((INT_REP, DOUBLE_REP)))
+
+    def test_unboxed_tuple_type(self):
+        assert parse_type("(# Int#, Bool #)") == UnboxedTupleTy(
+            (INT_HASH_TY, BOOL_TY))
+        assert parse_type("(# #)") == UnboxedTupleTy(())
+
+    def test_constraints(self):
+        type_ = parse_type("Num a => a -> a")
+        assert isinstance(type_, ForAllTy)
+        assert isinstance(type_.body, QualTy)
+        assert type_.body.constraints == (
+            ClassConstraint("Num", TyVar("a")),)
+        type_ = parse_type("(Num a, Eq a) => a")
+        assert len(type_.body.constraints) == 2
+
+    def test_type_application(self):
+        type_ = parse_type("Maybe (Maybe Int)")
+        assert isinstance(type_, TyApp)
+        assert isinstance(type_.argument, TyApp)
+
+    def test_list_and_pair_tycons(self):
+        assert parse_type("[] Int").pretty() == "[] Int"
+        assert parse_type("(,) Int Bool").pretty() == "(,) Int Bool"
+
+    def test_arrow_kind(self):
+        type_ = parse_type("forall (f :: Type -> Type). f")
+        assert type_.binders[0].kind == ArrowKind(TYPE_LIFTED, TYPE_LIFTED)
+
+    def test_constraint_kind_parses(self):
+        type_ = parse_type("forall (c :: Constraint). Int")
+        assert type_.binders[0].kind == CONSTRAINT
+
+    def test_unknown_tycon_is_parse_error(self):
+        with pytest.raises(ParseError):
+            parse_type("Nonexistent")
+
+    def test_unbound_rep_var_is_parse_error(self):
+        with pytest.raises(ParseError):
+            parse_type("forall (a :: TYPE r). a")
+
+    def test_rep_var_used_as_type_is_parse_error(self):
+        with pytest.raises(ParseError):
+            parse_type("forall (r :: Rep). r -> Int")
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class TestExpressions:
+    def test_application_is_left_nested(self):
+        assert parse_expr("f x y") == EApp(EApp(EVar("f"), EVar("x")),
+                                           EVar("y"))
+
+    def test_operator_precedence(self):
+        # *# binds tighter than +#.
+        expr = parse_expr("a +# b *# c")
+        expected = EApp(EApp(EVar("+#"), EVar("a")),
+                        EApp(EApp(EVar("*#"), EVar("b")), EVar("c")))
+        assert expr == expected
+
+    def test_dollar_is_right_associative_and_loose(self):
+        expr = parse_expr("f $ g $ h x")
+        inner = EApp(EApp(EVar("$"), EVar("g")),
+                     EApp(EVar("h"), EVar("x")))
+        assert expr == EApp(EApp(EVar("$"), EVar("f")), inner)
+
+    def test_operator_section_name(self):
+        assert parse_expr("(+#) x y") == EApp(EApp(EVar("+#"), EVar("x")),
+                                              EVar("y"))
+
+    def test_lambda_with_annotation(self):
+        expr = parse_expr("\\(x :: Int#) y -> x")
+        assert expr == ELam("x", ELam("y", EVar("x")), INT_HASH_TY)
+
+    def test_let_both_forms(self):
+        plain = parse_expr("let x = 1 in x")
+        assert plain == ELet("x", ELitInt(1), EVar("x"))
+        signed = parse_expr("let x :: Int = 1 in x")
+        printed = parse_expr("let x :: Int; x = 1 in x")
+        assert signed == printed
+        assert signed.signature == INT_TY
+
+    def test_if_and_bools(self):
+        expr = parse_expr("if True then 1 else 2")
+        assert expr == EIf(EBool(True), ELitInt(1), ELitInt(2))
+
+    def test_case_with_literal_and_wildcard(self):
+        expr = parse_expr("case n of { 1# -> a; _ -> b }")
+        assert isinstance(expr, ECase)
+        assert [a.constructor for a in expr.alternatives] == ["1#", "_"]
+
+    def test_case_constructor_binders(self):
+        expr = parse_expr("case b of { I# x -> x }")
+        assert expr.alternatives[0].binders == ("x",)
+
+    def test_case_as_left_operand_of_infix(self):
+        expr = parse_expr("case c of { I# x -> x } +# 1#")
+        assert isinstance(expr, EApp)
+        assert expr.function.function == EVar("+#")
+        assert isinstance(expr.function.argument, ECase)
+
+    def test_case_unboxed_tuple_pattern(self):
+        expr = parse_expr("case p of { (# q, r #) -> q }")
+        assert expr.alternatives[0].constructor == "(#,#)"
+        assert expr.alternatives[0].binders == ("q", "r")
+
+    def test_unboxed_tuple_expression(self):
+        assert parse_expr("(# 1#, 2# #)") == EUnboxedTuple(
+            (ELitIntHash(1), ELitIntHash(2)))
+
+    def test_annotation(self):
+        expr = parse_expr('3# :: Int#')
+        assert expr == EAnn(ELitIntHash(3), INT_HASH_TY)
+
+    def test_string_and_unit(self):
+        assert parse_expr('error "boom"') == EApp(EVar("error"),
+                                                  ELitString("boom"))
+        assert parse_expr("()") == EVar("()")
+
+    def test_double_hash_literal(self):
+        assert parse_expr("2.5## +## 1.5##") == EApp(
+            EApp(EVar("+##"), ELitDoubleHash(2.5)), ELitDoubleHash(1.5))
+
+
+# ---------------------------------------------------------------------------
+# Modules and declarations
+# ---------------------------------------------------------------------------
+
+
+SUM_TO = """\
+sumTo# :: Int# -> Int# -> Int#
+sumTo# acc n = case n ==# 0# of { 1# -> acc; _ -> sumTo# (acc +# n) (n -# 1#) }
+
+main :: Int#
+main = sumTo# 0# 100#
+"""
+
+
+class TestModules:
+    def test_declarations_and_spans(self):
+        parsed = parse_module(SUM_TO, "sumto.lev")
+        module = parsed.module
+        assert set(module.signatures()) == {"sumTo#", "main"}
+        assert set(module.bindings()) == {"sumTo#", "main"}
+        assert module.signatures()["sumTo#"] == fun(
+            INT_HASH_TY, INT_HASH_TY, INT_HASH_TY)
+        span = parsed.span_of_binding("main")
+        assert (span.line, span.column) == (5, 1)
+        sig_span = parsed.decl_spans[("sig", "sumTo#")]
+        assert (sig_span.line, sig_span.column) == (1, 1)
+
+    def test_multiline_continuation(self):
+        parsed = parse_module(
+            "f :: Int ->\n"
+            "     Int\n"
+            "f x =\n"
+            "  plusInt x\n"
+            "    1\n")
+        assert parsed.module.signatures()["f"] == fun(INT_TY, INT_TY)
+        bind = parsed.module.bindings()["f"]
+        assert bind.rhs == EApp(EApp(EVar("plusInt"), EVar("x")), ELitInt(1))
+
+    def test_signature_does_not_capture_next_declaration(self):
+        # Regression: the context backtrack must not leak the next line's
+        # binding name into the implicit forall.
+        parsed = parse_module("f :: Int# -> Int#\nf x = x\n")
+        assert parsed.module.signatures()["f"] == fun(INT_HASH_TY,
+                                                      INT_HASH_TY)
+
+    def test_column_one_starts_a_declaration(self):
+        with pytest.raises(ParseError):
+            parse_module("f = plusInt 1\n2\n")  # '2' cannot start a decl
+
+    def test_operator_signature(self):
+        parsed = parse_module("(!!#) :: Int# -> Int#\n(!!#) x = x\n")
+        assert "!!#" in parsed.module.signatures()
+
+    def test_parse_error_has_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_module("f = \n")
+        assert info.value.line >= 1
+        assert info.value.column >= 1
+
+    def test_empty_module(self):
+        assert parse_module("-- nothing here\n").module.decls == ()

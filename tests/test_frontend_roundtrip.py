@@ -1,0 +1,255 @@
+"""Property tests: the pretty printer and the parser are inverses.
+
+Satellites of the frontend PR:
+
+* ``parse(pretty(scheme)) == scheme`` for the explicit
+  ``-fprint-explicit-runtime-reps`` rendering;
+* the GHCi-default rendering (rep variables defaulted to ``LiftedRep``,
+  telescope hidden) parses back to the display-defaulted scheme up to
+  alpha-renaming — the parser re-quantifies hidden binders in occurrence
+  order, so the comparison canonicalises binder names first;
+* lexer/parser fuzzing: arbitrary input either parses or raises
+  :class:`~repro.core.errors.ParseError` — never anything else.
+"""
+
+import string as string_module
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ParseError
+from repro.core.kinds import TYPE_LIFTED, TypeKind
+from repro.core.rep import RepVar
+from repro.frontend import parse_module, parse_scheme, parse_type
+from repro.infer.schemes import Scheme
+from repro.pretty.printer import (
+    PrinterOptions,
+    default_reps_for_display,
+    render_scheme,
+)
+from repro.surface.prelude import prelude_schemes
+from repro.surface.types import (
+    BOOL_TY,
+    ClassConstraint,
+    DOUBLE_HASH_TY,
+    ForAllTy,
+    FunTy,
+    INT_HASH_TY,
+    INT_TY,
+    MAYBE_TY,
+    QualTy,
+    STRING_TY,
+    SType,
+    TyApp,
+    TyVar,
+    UnboxedTupleTy,
+)
+
+EXPLICIT = PrinterOptions(print_explicit_runtime_reps=True)
+
+
+# ---------------------------------------------------------------------------
+# Scheme generator
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def schemes(draw):
+    n_reps = draw(st.integers(0, 2))
+    rep_names = ("r", "s")[:n_reps]
+
+    n_types = draw(st.integers(0, 3))
+    binders = []
+    for name in ("a", "b", "c")[:n_types]:
+        if rep_names and draw(st.booleans()):
+            kind = TypeKind(RepVar(draw(st.sampled_from(rep_names))))
+        else:
+            kind = TYPE_LIFTED
+        binders.append((name, kind))
+
+    atoms = [INT_TY, INT_HASH_TY, DOUBLE_HASH_TY, BOOL_TY, STRING_TY]
+    atoms.extend(TyVar(name, kind) for name, kind in binders)
+    atom = st.sampled_from(atoms)
+
+    def compound(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda p: FunTy(*p)),
+            children.map(lambda t: TyApp(MAYBE_TY, t)),
+            st.lists(children, min_size=0, max_size=3)
+            .map(UnboxedTupleTy),
+        )
+
+    body = draw(st.recursive(atom, compound, max_leaves=6))
+
+    constraints = ()
+    lifted = [name for name, kind in binders if kind == TYPE_LIFTED]
+    if lifted and draw(st.booleans()):
+        constraints = (ClassConstraint("Num", TyVar(lifted[0])),)
+
+    return Scheme(rep_names, tuple(binders), constraints, body)
+
+
+# ---------------------------------------------------------------------------
+# Alpha canonicalisation (for the display-defaulted comparison)
+# ---------------------------------------------------------------------------
+
+
+def _occurrence_order(scheme):
+    """Names of the scheme's type binders in first-occurrence order."""
+    bound = {name for name, _ in scheme.type_binders}
+    order = []
+
+    def walk(type_):
+        if isinstance(type_, TyVar):
+            if type_.name in bound and type_.name not in order:
+                order.append(type_.name)
+        elif isinstance(type_, FunTy):
+            walk(type_.argument)
+            walk(type_.result)
+        elif isinstance(type_, TyApp):
+            walk(type_.function)
+            walk(type_.argument)
+        elif isinstance(type_, UnboxedTupleTy):
+            for component in type_.components:
+                walk(component)
+        elif isinstance(type_, QualTy):
+            for constraint in type_.constraints:
+                walk(constraint.argument)
+            walk(type_.body)
+        elif isinstance(type_, ForAllTy):
+            walk(type_.body)
+
+    for constraint in scheme.constraints:
+        walk(constraint.argument)
+    walk(scheme.body)
+    # Phantom binders (never occurring) keep their declared order at the end.
+    for name, _ in scheme.type_binders:
+        if name not in order:
+            order.append(name)
+    return order
+
+
+def _occurring_names(scheme):
+    out = scheme.body.free_type_vars()
+    for constraint in scheme.constraints:
+        out = out | constraint.argument.free_type_vars()
+    return out
+
+
+def alpha_canonical(scheme):
+    """Rename type binders to _t0, _t1, … in first-occurrence order.
+
+    Phantom binders at kind ``Type`` are dropped: hiding the telescope
+    erases them from the default rendering, and quantification over an
+    unused lifted variable is unobservable anyway.  Only meaningful for
+    rep-binder-free schemes (which is all the default display can produce).
+    """
+    assert not scheme.rep_binders
+    kinds = dict(scheme.type_binders)
+    occurring = _occurring_names(scheme)
+    mapping = {}
+    new_binders = []
+    index = 0
+    for name in _occurrence_order(scheme):
+        if kinds[name] == TYPE_LIFTED and name not in occurring:
+            continue
+        fresh = f"_t{index}"
+        index += 1
+        mapping[name] = TyVar(fresh, kinds[name])
+        new_binders.append((fresh, kinds[name]))
+    constraints = tuple(
+        ClassConstraint(c.class_name, c.argument.subst_types(mapping))
+        for c in scheme.constraints)
+    return Scheme((), tuple(new_binders), constraints,
+                  scheme.body.subst_types(mapping))
+
+
+# ---------------------------------------------------------------------------
+# Round-trip properties
+# ---------------------------------------------------------------------------
+
+
+class TestExplicitRoundTrip:
+    @given(schemes())
+    @settings(max_examples=200, deadline=None)
+    def test_explicit_rendering_round_trips_exactly(self, scheme):
+        rendered = render_scheme(scheme, EXPLICIT)
+        assert parse_scheme(rendered) == scheme
+
+    @given(schemes())
+    @settings(max_examples=100, deadline=None)
+    def test_scheme_pretty_round_trips_exactly(self, scheme):
+        assert parse_scheme(scheme.pretty(explicit_runtime_reps=True)) \
+            == scheme
+
+    def test_prelude_schemes_round_trip(self):
+        for name, scheme in prelude_schemes().items():
+            rendered = render_scheme(scheme, EXPLICIT)
+            assert parse_scheme(rendered) == scheme, name
+
+
+class TestDefaultDisplayRoundTrip:
+    @given(schemes())
+    @settings(max_examples=200, deadline=None)
+    def test_default_rendering_round_trips_up_to_alpha(self, scheme):
+        rendered = render_scheme(scheme)
+        reparsed = parse_scheme(rendered)
+        displayed = default_reps_for_display(scheme)
+        assert alpha_canonical(reparsed) == alpha_canonical(displayed)
+
+    @given(schemes())
+    @settings(max_examples=100, deadline=None)
+    def test_default_rendering_is_a_fixpoint(self, scheme):
+        rendered = render_scheme(scheme)
+        assert render_scheme(parse_scheme(rendered)) == rendered
+
+    def test_prelude_default_display_round_trips(self):
+        for name, scheme in prelude_schemes().items():
+            rendered = render_scheme(scheme)
+            reparsed = parse_scheme(rendered)
+            displayed = default_reps_for_display(scheme)
+            assert alpha_canonical(reparsed) == alpha_canonical(displayed), \
+                name
+
+    def test_concrete_nonlifted_binder_keeps_telescope(self):
+        # The printer gap the round-trip surfaced: a binder at a concrete
+        # unboxed kind must not lose its telescope in the default display.
+        scheme = parse_scheme("forall (a :: TYPE IntRep). a -> Int")
+        rendered = render_scheme(scheme)
+        assert "forall" in rendered
+        assert parse_scheme(rendered) == scheme
+
+
+# ---------------------------------------------------------------------------
+# Fuzzing
+# ---------------------------------------------------------------------------
+
+
+_FUZZ_ALPHABET = (string_module.ascii_letters + string_module.digits
+                  + " \n()[]{}#,;:->=\\.\"'$+*/<>|&_")
+
+
+class TestFuzz:
+    @given(st.text(alphabet=_FUZZ_ALPHABET, max_size=200))
+    @settings(max_examples=300, deadline=None)
+    def test_parser_total_over_garbage(self, source):
+        try:
+            parse_module(source)
+        except ParseError:
+            pass  # the only acceptable failure mode
+
+    @given(st.text(max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_parser_total_over_unicode(self, source):
+        try:
+            parse_module(source)
+        except ParseError:
+            pass
+
+    @given(schemes())
+    @settings(max_examples=50, deadline=None)
+    def test_rendered_schemes_are_valid_module_signatures(self, scheme):
+        source = f"f :: {render_scheme(scheme, EXPLICIT)}\n"
+        parsed = parse_module(source)
+        assert "f" in parsed.module.signatures()
