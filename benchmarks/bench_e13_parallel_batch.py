@@ -1,0 +1,140 @@
+"""E13: sharded parallel batch checking + incremental cache throughput.
+
+The scaling story on top of E12: the same generated corpus is pushed
+through :meth:`repro.driver.Session.check_many` with
+
+* ``e13.jobs1`` / ``e13.jobs2`` / ``e13.jobs4`` — the corpus sharded
+  across 1, 2 and 4 worker processes (each worker builds the prelude once
+  and checks a contiguous shard; results merge back in input order);
+* ``e13.cache_cold`` / ``e13.cache_warm`` — the incremental cache
+  (``cache=PATH``, keyed by SHA-256 of each source text): a cold run that
+  checks and stores everything, then a warm re-run over the unchanged
+  corpus that must be answered entirely from the cache.
+
+``programs_per_sec`` counters and the jobs-N speedup ratios land in
+``BENCH_perf.json`` under ``e13.*``.  Correctness (ordering, ok-ness,
+cache hit counts, byte-identical warm results) is asserted always.
+
+Wall-clock gates are honest about hardware: the multi-worker speedup gate
+only fires on machines with at least 4 CPUs (a single-core runner cannot
+show parallel speedup — fan-out overhead is all it can measure, and the
+numbers are still recorded), and everything is skipped under
+``BENCH_REPORT_ONLY`` like every other wall-clock gate.
+"""
+
+import os
+import tempfile
+
+import pytest
+
+from benchreport import emit, record_counter, report_only, time_op
+from bench_e12_frontend_pipeline import make_corpus
+from repro.driver import Session
+from repro.driver.batch import (
+    ResultCache,
+    payload_bytes,
+    result_to_payload,
+)
+
+CORPUS_SIZE = 150
+
+#: The speedup the ISSUE demands of --jobs 4 — enforced only where the
+#: hardware can physically deliver it.
+PARALLEL_SPEEDUP_FLOOR = 2.0
+MIN_CPUS_FOR_SPEEDUP_GATE = 4
+
+#: A warm-cache re-run must cost less than this fraction of the cold run.
+WARM_CACHE_FRACTION = 0.10
+
+
+def _check_jobs(corpus, jobs):
+    results = Session().check_many(corpus, jobs=jobs)
+    assert [result.filename for result in results] == \
+        [filename for filename, _ in corpus], "input order lost"
+    bad = [result.filename for result in results if not result.ok]
+    assert not bad, f"corpus programs failed to check: {bad[:3]}"
+    return results
+
+
+def test_report_parallel_batch_throughput(tmp_path):
+    corpus = make_corpus(CORPUS_SIZE)
+
+    timings = {}
+    for jobs in (1, 2, 4):
+        results = time_op(f"e13.jobs{jobs}", _check_jobs, corpus, jobs,
+                          repeats=2, meta={"programs": CORPUS_SIZE,
+                                           "jobs": jobs})
+        assert all(len(result.bindings) == 6 for result in results)
+
+    import benchreport
+    for jobs in (1, 2, 4):
+        seconds = benchreport._TIMINGS[f"e13.jobs{jobs}"]["seconds"]
+        timings[jobs] = seconds
+        record_counter(f"e13.jobs{jobs}.programs_per_sec",
+                       round(CORPUS_SIZE / seconds, 1))
+    speedup2 = timings[1] / timings[2]
+    speedup4 = timings[1] / timings[4]
+    record_counter("e13.speedup.jobs2_vs_jobs1", round(speedup2, 2))
+    record_counter("e13.speedup.jobs4_vs_jobs1", round(speedup4, 2))
+    record_counter("e13.cpu_count", os.cpu_count() or 1)
+
+    # -- incremental cache: cold run, then a warm re-run ---------------------
+    cache_path = str(tmp_path / "e13-cache.json")
+    cold = time_op("e13.cache_cold",
+                   lambda: Session().check_many(corpus, cache=cache_path),
+                   repeats=1, meta={"programs": CORPUS_SIZE})
+    warm_cache = ResultCache(cache_path)
+    warm = time_op("e13.cache_warm",
+                   lambda: Session().check_many(corpus, cache=warm_cache),
+                   repeats=1, meta={"programs": CORPUS_SIZE})
+    assert warm_cache.hits == CORPUS_SIZE and warm_cache.misses == 0, \
+        "warm run was not answered entirely from the cache"
+    assert [payload_bytes(result_to_payload(r)) for r in cold] == \
+        [payload_bytes(result_to_payload(r)) for r in warm], \
+        "cache hits must be byte-identical to the results they cached"
+
+    cold_seconds = benchreport._TIMINGS["e13.cache_cold"]["seconds"]
+    warm_seconds = benchreport._TIMINGS["e13.cache_warm"]["seconds"]
+    warm_fraction = warm_seconds / cold_seconds
+    record_counter("e13.cache.warm_fraction_of_cold", round(warm_fraction, 4))
+
+    rows = [
+        (f"jobs=1 ({CORPUS_SIZE} programs)", "baseline",
+         f"{timings[1] * 1000:.1f}ms "
+         f"({CORPUS_SIZE / timings[1]:.0f} programs/s)"),
+        ("jobs=2", f"{speedup2:.2f}x vs jobs=1",
+         f"{timings[2] * 1000:.1f}ms"),
+        ("jobs=4", f"{speedup4:.2f}x vs jobs=1",
+         f"{timings[4] * 1000:.1f}ms"),
+        ("cache cold", "checks + stores all",
+         f"{cold_seconds * 1000:.1f}ms"),
+        ("cache warm", f"{warm_fraction:.1%} of cold",
+         f"{warm_seconds * 1000:.1f}ms"),
+    ]
+    emit("E13: sharded parallel batch checking + incremental cache", rows)
+
+    if report_only():
+        pytest.skip("BENCH_REPORT_ONLY set: timings recorded, gate skipped")
+    assert warm_fraction < WARM_CACHE_FRACTION, (
+        f"warm-cache re-run took {warm_fraction:.1%} of the cold run "
+        f"(floor: {WARM_CACHE_FRACTION:.0%})")
+    cpus = os.cpu_count() or 1
+    if cpus >= MIN_CPUS_FOR_SPEEDUP_GATE:
+        assert speedup4 >= PARALLEL_SPEEDUP_FLOOR, (
+            f"--jobs 4 speedup {speedup4:.2f}x fell below "
+            f"{PARALLEL_SPEEDUP_FLOOR}x on a {cpus}-CPU machine")
+
+
+def test_cache_invalidation_is_per_source():
+    """Editing one program re-checks exactly that program."""
+    corpus = make_corpus(8)
+    with tempfile.TemporaryDirectory() as directory:
+        path = os.path.join(directory, "cache.json")
+        Session().check_many(corpus, cache=path)
+        edited = list(corpus)
+        filename, source = edited[5]
+        edited[5] = (filename, source + "\nextra :: Int\nextra = 1 + 1\n")
+        cache = ResultCache(path)
+        results = Session().check_many(edited, cache=cache)
+        assert cache.hits == len(corpus) - 1 and cache.misses == 1
+        assert any(b.name == "extra" for b in results[5].bindings)

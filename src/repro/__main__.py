@@ -5,7 +5,9 @@ Subcommands:
 * ``check file.lev [...]`` — run parse → infer → levity-check → defaulting
   over one or more files; print each binding's scheme (GHCi-style rep
   defaulting unless ``--explicit-reps``) and any diagnostics with source
-  spans.  Exit status 1 when any file fails.
+  spans.  Exit status 1 when any file fails.  ``--jobs N`` shards the
+  files across N worker processes; ``--cache PATH`` re-uses results for
+  files whose source text is unchanged (keyed by SHA-256).
 * ``run file.lev`` — check, then evaluate ``--entry`` (default ``main``)
   on the cost-model machine; when the entry fits the L fragment it is also
   compiled via Figure 7 and cross-checked on the M machine.
@@ -77,7 +79,7 @@ def _check_json(results) -> str:
 def _cmd_check(args: argparse.Namespace) -> int:
     session = Session(_options(args))
     sources = [(path, _read_source(path)) for path in args.files]
-    results = session.check_many(sources)
+    results = session.check_many(sources, jobs=args.jobs, cache=args.cache)
     if args.json:
         print(_check_json(results))
     else:
@@ -139,6 +141,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the Section 5.1 levity post-pass (ablation)")
     check.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON")
+    check.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="shard the files across N worker processes "
+                            "(default: 1, in-process)")
+    check.add_argument("--cache", default=None, metavar="PATH",
+                       help="incremental result cache keyed by the SHA-256 "
+                            "of each source text (see docs/BATCH.md)")
     check.set_defaults(func=_cmd_check)
 
     run = sub.add_parser("run", help="check then evaluate an entry point")

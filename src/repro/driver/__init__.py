@@ -12,6 +12,10 @@ reproduction as one pipeline::
 * :class:`~repro.driver.session.Pipeline` — the staged checker producing
   structured :class:`~repro.driver.session.Diagnostic` values with source
   spans;
+* :mod:`repro.driver.batch` — sharded parallel batch checking across
+  worker processes with an incremental source-hash result cache
+  (``Session.check_many(jobs=..., cache=...)`` and
+  ``python -m repro check --jobs N --cache PATH``);
 * :mod:`repro.driver.lower` — the bridge from checked surface programs
   into the formal calculus L (and from there through ``compile/`` to the
   M machine).
@@ -20,6 +24,7 @@ The ``python -m repro`` command line lives in :mod:`repro.__main__` and is
 a thin wrapper over this package.
 """
 
+from .batch import ResultCache, check_many_sharded
 from .lower import LoweringError, lower_binding, lower_entry, lower_type
 from .session import (
     BindingSummary,
@@ -40,8 +45,10 @@ __all__ = [
     "DriverOptions",
     "LoweringError",
     "Pipeline",
+    "ResultCache",
     "RunResult",
     "Session",
+    "check_many_sharded",
     "lower_binding",
     "lower_entry",
     "lower_type",

@@ -1,0 +1,411 @@
+"""Sharded parallel batch checking with an incremental source-hash cache.
+
+PR 2 made programs *data* (``.lev`` corpora through
+:meth:`repro.driver.Session.check_many`); this module makes checking them
+scale the way the batch-verification frameworks in the related work do:
+independent program units fanned out across workers, with verification
+results cached so unchanged inputs are never re-checked.
+
+Three layers:
+
+* **Payloads** — :func:`result_to_payload` / :func:`result_from_payload`
+  convert a :class:`~repro.driver.session.CheckResult` to and from a slim,
+  JSON-able dict (rendered schemes, diagnostics with spans, per-binding
+  status).  Payloads are the wire format between worker processes *and* the
+  on-disk cache format, so a cache hit and a worker round-trip produce the
+  same bytes.  Payload results carry ``scheme=None``/``parsed=None``/
+  ``env=None`` — everything else is preserved exactly.
+
+* **The cache** — :class:`ResultCache`, a single JSON file mapping cache
+  keys to payloads.  The key is the SHA-256 of the *source text*,
+  namespaced by :data:`CACHE_SCHEMA` and a fingerprint of the
+  :class:`~repro.driver.session.DriverOptions` (a result rendered with
+  ``--explicit-reps`` must never satisfy a default-display lookup).  The
+  filename deliberately stays out of the key: renaming a file re-uses its
+  cached result, re-stamped with the new name.
+
+* **The shards** — :func:`check_many_sharded` splits the un-cached
+  ``(filename, source)`` pairs into contiguous shards, one per worker of a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Each worker builds the
+  prelude once (:func:`_worker_init` creates a warm
+  :class:`~repro.driver.session.Session` per process) and checks its whole
+  shard in one round-trip.  Results are merged back **in input order**
+  regardless of which worker finished first, and a pipeline failure on one
+  binding stays a diagnostic in that program's result — shards cannot
+  poison each other because they share nothing but the prelude.
+
+Full (non-slim) results still cross process boundaries correctly when
+needed: the hash-consed type/kind/representation nodes define
+``__reduce__``, so pickled schemes re-intern on the receiving side.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..frontend.lexer import Span
+from .session import (
+    BindingSummary,
+    CheckResult,
+    Diagnostic,
+    DriverOptions,
+    Session,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "ResultCache",
+    "cache_key",
+    "check_many_sharded",
+    "options_fingerprint",
+    "payload_bytes",
+    "result_from_payload",
+    "result_to_payload",
+]
+
+#: Bump when the payload layout or the pipeline's observable output changes
+#: incompatibly; old cache entries then miss instead of deserialising junk.
+CACHE_SCHEMA = 1
+
+
+# ---------------------------------------------------------------------------
+# Payloads (the wire + cache format)
+# ---------------------------------------------------------------------------
+
+
+def _span_to_list(span: Optional[Span]) -> Optional[List[int]]:
+    if span is None:
+        return None
+    return [span.line, span.column, span.end_line, span.end_column]
+
+
+def _span_from_list(data: Optional[Sequence[int]]) -> Optional[Span]:
+    if data is None:
+        return None
+    return Span(*data)
+
+
+def result_to_payload(result: CheckResult) -> dict:
+    """The slim, JSON-able view of a check result.
+
+    Drops the heavyweight fields (``scheme`` objects, the parsed module,
+    the typing environment) and keeps what batch consumers need: rendered
+    schemes, per-binding status, and diagnostics with spans.
+    """
+    return {
+        "filename": result.filename,
+        "ok": result.ok,
+        "bindings": [
+            {
+                "name": binding.name,
+                "rendered": binding.rendered,
+                "ok": binding.ok,
+                "defaulted_rep_vars": list(binding.defaulted_rep_vars),
+                "span": _span_to_list(binding.span),
+            }
+            for binding in result.bindings
+        ],
+        "diagnostics": [
+            {
+                "severity": diagnostic.severity,
+                "stage": diagnostic.stage,
+                "message": diagnostic.message,
+                "span": _span_to_list(diagnostic.span),
+                "binding": diagnostic.binding,
+            }
+            for diagnostic in result.diagnostics
+        ],
+    }
+
+
+def result_from_payload(payload: dict,
+                        filename: Optional[str] = None) -> CheckResult:
+    """Rebuild a (slim) :class:`CheckResult` from a payload dict.
+
+    ``filename`` re-stamps the result — cache hits keyed purely by source
+    text use it to report the name the caller actually passed.
+    """
+    name = filename if filename is not None else payload["filename"]
+    result = CheckResult(name, ok=payload["ok"])
+    for binding in payload["bindings"]:
+        result.bindings.append(BindingSummary(
+            binding["name"], None, binding["rendered"], binding["ok"],
+            tuple(binding["defaulted_rep_vars"]),
+            _span_from_list(binding["span"])))
+    for diagnostic in payload["diagnostics"]:
+        result.diagnostics.append(Diagnostic(
+            diagnostic["severity"], diagnostic["stage"],
+            diagnostic["message"], name,
+            _span_from_list(diagnostic["span"]), diagnostic["binding"]))
+    return result
+
+
+def payload_bytes(payload: dict) -> bytes:
+    """The canonical byte encoding of a payload (for identity tests)."""
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def _payload_valid(payload: dict) -> bool:
+    """Can ``payload`` actually be rebuilt into a CheckResult?"""
+    try:
+        result_from_payload(payload)
+    except (KeyError, TypeError, IndexError):
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# The incremental cache
+# ---------------------------------------------------------------------------
+
+
+#: DriverOptions fields that cannot affect ``Pipeline.check`` output.
+#: Everything NOT listed here invalidates the cache when it changes, so a
+#: future option is cache-safe by default and must be excluded explicitly.
+_CHECK_IRRELEVANT_OPTIONS = frozenset({
+    "max_machine_steps",  # only consulted by the run/compile bridge
+})
+
+
+def options_fingerprint(options: DriverOptions) -> str:
+    """A stable digest of every option that can change a check's output."""
+    state = json.dumps(
+        {name: value for name, value in dataclasses.asdict(options).items()
+         if name not in _CHECK_IRRELEVANT_OPTIONS},
+        sort_keys=True)
+    return hashlib.sha256(state.encode("utf-8")).hexdigest()[:16]
+
+
+def cache_key(source: str, options: DriverOptions) -> str:
+    """SHA-256 of the source text, namespaced by schema + options.
+
+    The filename is deliberately excluded — see the module docstring.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"repro-check:{CACHE_SCHEMA}:"
+                  f"{options_fingerprint(options)}:".encode("utf-8"))
+    hasher.update(source.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+class ResultCache:
+    """A file-backed map from cache keys to result payloads.
+
+    The on-disk format is one JSON document::
+
+        {"schema": 1, "entries": {"<sha256>": {...payload...}, ...}}
+
+    Entries from an older :data:`CACHE_SCHEMA` are discarded wholesale on
+    load.  ``hits``/``misses``/``stores`` counters make cache behaviour
+    observable to benchmarks and tests.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self.entries: Dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self._dirty = False
+        if path is not None and os.path.exists(path):
+            self._load(path)
+
+    def _load(self, path: str) -> None:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            return  # an unreadable/corrupt cache is just a cold cache
+        if document.get("schema") != CACHE_SCHEMA:
+            return
+        entries = document.get("entries")
+        if isinstance(entries, dict):
+            self.entries = entries
+
+    def lookup(self, source: str, options: DriverOptions) -> Optional[dict]:
+        payload = self.entries.get(cache_key(source, options))
+        if payload is not None and not _payload_valid(payload):
+            # A malformed entry (hand-edited file, truncated write) is a
+            # miss, not an error; the re-check overwrites it.  Validating
+            # here keeps the hit/miss counters truthful.
+            payload = None
+        if payload is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return payload
+
+    def store(self, source: str, options: DriverOptions,
+              payload: dict) -> None:
+        self.entries[cache_key(source, options)] = payload
+        self.stores += 1
+        self._dirty = True
+
+    def save(self) -> None:
+        """Write the cache atomically (write-to-temp + rename)."""
+        if self.path is None or not self._dirty:
+            return
+        document = {"schema": CACHE_SCHEMA, "entries": self.entries}
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=directory, prefix=".repro-cache-")
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, sort_keys=True)
+            os.replace(temp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        self._dirty = False
+
+
+# ---------------------------------------------------------------------------
+# Worker processes
+# ---------------------------------------------------------------------------
+
+#: The per-process warm session (prelude built once per worker).
+_WORKER_SESSION: Optional[Session] = None
+
+
+def _worker_init(options_state: dict) -> None:
+    global _WORKER_SESSION
+    _WORKER_SESSION = Session(DriverOptions(**options_state))
+
+
+def _worker_check_shard(shard: List[Tuple[int, str, str]]
+                        ) -> List[Tuple[int, dict]]:
+    """Check one shard of ``(index, filename, source)`` jobs.
+
+    Returns payload dicts (not CheckResults): the slim form keeps the IPC
+    pickle small and makes worker output byte-identical to cache output.
+    """
+    session = _WORKER_SESSION
+    assert session is not None, "worker used without _worker_init"
+    return [(index, result_to_payload(session.check(source, filename)))
+            for index, filename, source in shard]
+
+
+def _shard(pending: List[Tuple[int, str, str]],
+           jobs: int) -> List[List[Tuple[int, str, str]]]:
+    """Contiguous shards, one per worker (a single IPC round-trip each)."""
+    size, remainder = divmod(len(pending), jobs)
+    shards = []
+    start = 0
+    for worker in range(jobs):
+        stop = start + size + (1 if worker < remainder else 0)
+        if stop > start:
+            shards.append(pending[start:stop])
+        start = stop
+    return shards
+
+
+def _check_serial(pending: List[Tuple[int, str, str]],
+                  options: DriverOptions,
+                  session: Optional[Session] = None
+                  ) -> List[Tuple[int, dict]]:
+    if session is None:
+        session = Session(options)
+    return [(index, result_to_payload(session.check(source, filename)))
+            for index, filename, source in pending]
+
+
+def _check_parallel(pending: List[Tuple[int, str, str]],
+                    options: DriverOptions,
+                    jobs: int) -> List[Tuple[int, dict]]:
+    import concurrent.futures
+
+    options_state = dataclasses.asdict(options)
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=jobs, initializer=_worker_init,
+                initargs=(options_state,)) as executor:
+            futures = [executor.submit(_worker_check_shard, shard)
+                       for shard in _shard(pending, jobs)]
+            out: List[Tuple[int, dict]] = []
+            for future in futures:
+                out.extend(future.result())
+            return out
+    except (OSError, PermissionError,
+            concurrent.futures.process.BrokenProcessPool):
+        # Restricted environments (no /dev/shm, no fork) degrade to the
+        # serial path rather than failing the whole batch.
+        return _check_serial(pending, options)
+
+
+# ---------------------------------------------------------------------------
+# The public batch entry point
+# ---------------------------------------------------------------------------
+
+
+def check_many_sharded(sources: Iterable[Tuple[str, str]],
+                       options: Optional[DriverOptions] = None,
+                       jobs: int = 1,
+                       cache: Union[ResultCache, str, None] = None,
+                       session: Optional[Session] = None,
+                       ) -> List[CheckResult]:
+    """Check many ``(filename, source)`` programs, sharded and cached.
+
+    * ``jobs > 1`` fans the un-cached programs out across that many worker
+      processes; ``jobs == 1`` checks them in-process (still through the
+      payload round-trip, so results are identical either way).
+    * ``cache`` (a path or a :class:`ResultCache`) skips every program
+      whose source hash is already recorded and persists new results.
+
+    Results always come back **in input order**, as slim payload-backed
+    :class:`CheckResult` values (``scheme``/``parsed``/``env`` are None).
+    """
+    options = options or DriverOptions()
+    jobs = max(1, int(jobs))
+    items = [(index, filename, source)
+             for index, (filename, source) in enumerate(sources)]
+    results: List[Optional[CheckResult]] = [None] * len(items)
+
+    if isinstance(cache, str):
+        cache = ResultCache(cache)
+
+    pending: List[Tuple[int, str, str]] = []
+    if cache is not None:
+        for index, filename, source in items:
+            payload = cache.lookup(source, options)  # validates the entry
+            if payload is None:
+                pending.append((index, filename, source))
+            else:
+                results[index] = result_from_payload(payload, filename)
+    else:
+        pending = items
+
+    if pending:
+        # Results are filename-independent (the payload is re-stamped per
+        # caller), so duplicate source texts in one batch check only once.
+        representative: Dict[str, int] = {}
+        unique: List[Tuple[int, str, str]] = []
+        for index, filename, source in pending:
+            if source not in representative:
+                representative[source] = index
+                unique.append((index, filename, source))
+        if jobs == 1 or len(unique) == 1:
+            computed = _check_serial(unique, options, session)
+        else:
+            computed = _check_parallel(unique, options,
+                                       min(jobs, len(unique)))
+        by_index = {index: payload for index, payload in computed}
+        for index, filename, source in pending:
+            payload = by_index[representative[source]]
+            if cache is not None and representative[source] == index:
+                cache.store(source, options, payload)
+            results[index] = result_from_payload(payload, filename)
+
+    if cache is not None:
+        cache.save()
+    assert all(result is not None for result in results)
+    return results  # type: ignore[return-value]

@@ -382,16 +382,35 @@ class Session:
         """parse → infer → levity-check → Rep-default one module."""
         return self.pipeline.check(source, filename)
 
-    def check_many(self, sources: Iterable[Tuple[str, str]]
-                   ) -> List[CheckResult]:
+    def check_many(self, sources: Iterable[Tuple[str, str]],
+                   jobs: Optional[int] = None,
+                   cache=None) -> List[CheckResult]:
         """Batch API: check many ``(filename, source)`` programs per call.
 
         Reuses the cached prelude environment across programs — the
-        throughput benchmarks (``bench_e12``) and the CLI's multi-file mode
-        both call this.
+        throughput benchmarks (``bench_e12``/``bench_e13``) and the CLI's
+        multi-file mode both call this.
+
+        * ``jobs`` — fan the corpus out across that many worker processes
+          (each builds the prelude once and checks a whole shard); results
+          come back in input order regardless of completion order.
+        * ``cache`` — a path (or :class:`repro.driver.batch.ResultCache`)
+          keyed by the SHA-256 of each source text; unchanged programs are
+          answered from the cache without re-checking.
+
+        With neither (the default) this is the plain in-process loop and
+        results carry full schemes/parse trees.  With ``jobs > 1`` or a
+        cache the results are the slim payload form (rendered schemes and
+        diagnostics preserved; ``scheme``/``parsed``/``env`` are ``None``)
+        — see :mod:`repro.driver.batch`.
         """
-        return [self.pipeline.check(source, filename)
-                for filename, source in sources]
+        if (jobs is None or jobs <= 1) and cache is None:
+            return [self.pipeline.check(source, filename)
+                    for filename, source in sources]
+        from .batch import check_many_sharded
+
+        return check_many_sharded(sources, self.options,
+                                  jobs=jobs or 1, cache=cache, session=self)
 
     def run(self, source: str, filename: str = "<input>",
             entry: str = "main") -> RunResult:

@@ -27,11 +27,12 @@ the full reference)::
               | 'if' expr 'then' expr 'else' expr
               | 'case' expr 'of' '{' alt { ';' alt } [';'] '}'
               | opexpr [ '::' type ]
-    opexpr  ::= fexp { SYMBOL opexpr }             -- precedence climbing
+    opexpr  ::= [ '-' ] fexp { SYMBOL opexpr }     -- precedence climbing
     fexp    ::= aexp { aexp }
     aexp    ::= varid | conid | literal | '(' expr ')' | '(' SYMBOL ')'
               | '(#' [ expr {',' expr} ] '#)' | '(' ')'
-    alt     ::= conid { varid } '->' expr | INT '->' expr | INT# '->' expr
+    alt     ::= conid { varid } '->' expr | [ '-' ] INT '->' expr
+              | [ '-' ] INT# '->' expr
               | '(#' varid {',' varid} '#)' '->' expr | '_' '->' expr
     apat    ::= varid | '(' varid '::' type ')'
 
@@ -138,11 +139,28 @@ OPERATOR_TABLE: Dict[str, Tuple[int, str]] = {
     ">#": (4, "left"), ">=#": (4, "left"),
     "==##": (4, "left"), "<##": (4, "left"),
     "+#": (6, "left"), "-#": (6, "left"),
+    "+": (6, "left"), "-": (6, "left"),
     "+##": (6, "left"), "-##": (6, "left"),
     "++": (6, "right"),
     "*#": (7, "left"), "*##": (7, "left"), "/##": (7, "left"),
+    "*": (7, "left"),
     ".": (9, "right"),
 }
+
+#: Precedence of prefix negation (Haskell's unary minus sits at 6, the same
+#: level as the binary ``-``).
+NEGATE_PREC = 6
+
+
+def _negated(operand: Expr) -> Expr:
+    """Fold prefix minus into literals; elaborate to ``negate`` otherwise."""
+    if isinstance(operand, ELitInt):
+        return ELitInt(-operand.value)
+    if isinstance(operand, ELitIntHash):
+        return ELitIntHash(-operand.value)
+    if isinstance(operand, ELitDoubleHash):
+        return ELitDoubleHash(-operand.value)
+    return EApp(EVar("negate"), operand)
 
 
 @dataclass
@@ -567,14 +585,34 @@ class Parser:
 
     def _parse_op_expr(self, min_prec: int) -> Expr:
         start = self._peek().span
-        special = self._parse_special()
-        if special is not None:
-            # Lambda/let/if bodies extend maximally, so no operator can
-            # follow them here; a brace-delimited case, however, may be the
-            # left operand of an infix operator — fall into the loop.
-            left = special
+        if self._peek().is_symbol("-"):
+            # Prefix negation (the only prefix operator, exactly as in
+            # Haskell).  Its operand extends over tighter operators only, so
+            # ``- a * b`` negates the product while ``- a + b`` adds to the
+            # negation; the negation itself then participates as a left
+            # operand at precedence NEGATE_PREC.  Like Haskell's "cannot mix"
+            # rule, a negation may not itself be the operand of a
+            # tighter-binding operator: ``a *# - b`` must be written
+            # ``a *# (- b)`` (otherwise the operand parse would swallow the
+            # rest of the tighter chain and mis-group it).
+            if min_prec > NEGATE_PREC:
+                raise self._error(
+                    "prefix '-' cannot be the operand of an operator that "
+                    "binds more tightly than subtraction; parenthesise the "
+                    "negation")
+            self._next()
+            operand = self._parse_op_expr(NEGATE_PREC + 1)
+            left = self._note(_negated(operand),
+                              start.merge(self._previous_span()))
         else:
-            left = self._parse_fexp()
+            special = self._parse_special()
+            if special is not None:
+                # Lambda/let/if bodies extend maximally, so no operator can
+                # follow them here; a brace-delimited case, however, may be
+                # the left operand of an infix operator — fall into the loop.
+                left = special
+            else:
+                left = self._parse_fexp()
         while self._continues():
             token = self._peek()
             if token.kind != "symbol" or token.text in RESERVED_SYMBOLS:
@@ -767,6 +805,12 @@ class Parser:
         elif token.kind == "inthash":
             self._next()
             constructor = f"{token.value}#"
+            binders = []
+        elif token.is_symbol("-") and self._peek(1).kind in ("int", "inthash"):
+            self._next()
+            literal = self._next()
+            constructor = (f"{-literal.value}#" if literal.kind == "inthash"
+                           else str(-literal.value))
             binders = []
         elif token.kind == "conid":
             self._next()

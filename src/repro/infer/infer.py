@@ -126,6 +126,30 @@ class ModuleResult:
         return self.schemes[name]
 
 
+def _not_in_scope(name: str, env: TypeEnv) -> str:
+    """A scope-error message with near-miss suggestions from ``env``.
+
+    ``1 + 2`` at a prelude without boxed ``+`` should say
+    "did you mean '+#'?" rather than leave the user guessing; the hash
+    check catches boxed/unboxed spelling confusions that plain edit
+    distance misses (``+`` vs ``+##``).
+    """
+    import difflib
+
+    message = f"variable {name!r} is not in scope"
+    candidates = sorted(env.all_bindings())
+    close = difflib.get_close_matches(name, candidates, n=3, cutoff=0.6)
+    stem = name.rstrip("#")
+    for candidate in candidates:
+        if candidate != name and candidate.rstrip("#") == stem \
+                and candidate not in close:
+            close.append(candidate)
+    if close:
+        suggestions = " or ".join(repr(c) for c in close[:3])
+        message += f" (did you mean {suggestions}?)"
+    return message
+
+
 class Inferencer:
     """The type-inference engine."""
 
@@ -174,7 +198,7 @@ class Inferencer:
         if isinstance(expr, EVar):
             scheme = env.lookup(expr.name)
             if scheme is None:
-                raise ScopeError(f"variable {expr.name!r} is not in scope")
+                raise ScopeError(_not_in_scope(expr.name, env))
             constraints, type_ = self.instantiate(scheme)
             return type_, constraints
 

@@ -428,6 +428,11 @@ class Evaluator:
                 value = self.heap.allocate(
                     PrimOpValue(name, arity, self._constructor_builder(name)),
                     static=True)
+        elif (selector := self._class_method_selector(name)) is not None:
+            # Class methods shadow the boxed prelude helpers, mirroring the
+            # type checker (method schemes are bound after the prelude): with
+            # the generalised Num attached, `+` dispatches on its argument.
+            value = selector
         elif name in _BOXED_HELPERS:
             # Boxed helpers (plusInt & co.) are top-level code: their outer
             # closure is static, exactly like a compiled definition.
@@ -440,19 +445,24 @@ class Evaluator:
         elif name == "undefined":
             raise EvaluationError("Prelude.undefined")
         else:
-            value = None
-            class_env = self.program.class_env
-            if class_env is not None:
-                for info in class_env.classes.values():
-                    if name in info.method_names():
-                        value = self.heap.allocate(
-                            MethodSelector(info.name, name), static=True)
-                        break
-            if value is None:
-                raise ScopeError(
-                    f"variable {name!r} is not bound at runtime")
+            raise ScopeError(
+                f"variable {name!r} is not bound at runtime")
         self._static_cache[name] = value
         return value
+
+    def _class_method_selector(self, name: str) -> Optional[Value]:
+        """A dispatching selector when ``name`` is a class method.
+
+        The caller (``_eval_var``) memoises the result under the bare name.
+        """
+        class_env = self.program.class_env
+        if class_env is None:
+            return None
+        for info in class_env.classes.values():
+            if name in info.method_names():
+                return self.heap.allocate(
+                    MethodSelector(info.name, name), static=True)
+        return None
 
     def _constructor_builder(self, name: str) -> Callable[..., Value]:
         def build(*fields: Value) -> Value:
@@ -637,6 +647,14 @@ _BOXED_HELPERS: Dict[str, Expr] = {
     "plusInt": _boxed_binop("+#"),
     "minusInt": _boxed_binop("-#"),
     "timesInt": _boxed_binop("*#"),
+    "+": _boxed_binop("+#"),
+    "-": _boxed_binop("-#"),
+    "*": _boxed_binop("*#"),
+    "negate": ELam("x", ECase(
+        EVar("x"),
+        [Alternative("I#", ["i"],
+                     EApp(EVar("I#"),
+                          EApp(EVar("negateInt#"), EVar("i"))))])),
     "eqInt": _boxed_cmp("==#"),
     "ltInt": _boxed_cmp("<#"),
     "not": ELam("b", ECase(EVar("b"),

@@ -145,8 +145,23 @@ class EApp(Expr):
         fun = self.function.pretty()
         if isinstance(self.function, (ELam, ELet, EIf)):
             fun = f"({fun})"
+        elif isinstance(self.function, EVar) \
+                and not (self.function.name[0].isalpha()
+                         or self.function.name[0] in "_("):
+            # A symbolic operator in function position prints in section
+            # form so the output re-parses: bare `- x 1` would re-parse as
+            # the negation `negate (x 1)`, and bare `+# x y` not at all.
+            fun = f"({fun})"
         arg = self.argument.pretty()
-        if isinstance(self.argument, (EApp, ELam, ELet, EIf)):
+        if isinstance(self.argument, (EApp, ELam, ELet, EIf)) \
+                or arg.startswith("-") \
+                or (isinstance(self.argument, EVar)
+                    and not (self.argument.name[0].isalpha()
+                             or self.argument.name[0] in "_(")):
+            # Negative literals must keep their parens (`f -1` would
+            # re-parse as the infix subtraction `f - 1`), and a symbolic
+            # operator passed as an argument needs its section form
+            # (`f +#` does not re-parse; `f (+#)` does).
             arg = f"({arg})"
         return f"{fun} {arg}"
 

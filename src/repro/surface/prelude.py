@@ -127,6 +127,14 @@ BOXED_HELPERS: Dict[str, Scheme] = {
     "plusInt": _binop(INT_TY),
     "minusInt": _binop(INT_TY),
     "timesInt": _binop(INT_TY),
+    # The operator spellings of the same Section 2.1 helpers, so ordinary
+    # boxed arithmetic (`1 + 2` at type Int) works out of the box.  They are
+    # deliberately monomorphic: the generalised Num class of Section 7.3 is
+    # opt-in via repro.classes, not wired into the default prelude.
+    "+": _binop(INT_TY),
+    "-": _binop(INT_TY),
+    "*": _binop(INT_TY),
+    "negate": _mono(fun(INT_TY, INT_TY)),
     "eqInt": _binop(INT_TY, BOOL_TY),
     "ltInt": _binop(INT_TY, BOOL_TY),
     "not": _mono(fun(BOOL_TY, BOOL_TY)),

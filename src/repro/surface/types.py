@@ -184,6 +184,12 @@ class TyCon(SType):
             return self
         return TyCon(self.name, self.kind.substitute_reps(mapping))
 
+    def __reduce__(self):
+        # Hash-consed nodes have a required-argument ``__new__``, which the
+        # default pickling protocol cannot call; reconstruct through the
+        # constructor so unpickling re-interns in the receiving process.
+        return (TyCon, (self.name, self.kind))
+
     def _compute_hash(self) -> int:
         return hash(("TyCon", self.name, self.kind))
 
@@ -238,6 +244,9 @@ class TyVar(SType):
         if not mapping or self.free_rep_vars().isdisjoint(mapping):
             return self
         return TyVar(self.name, self.kind.substitute_reps(mapping))
+
+    def __reduce__(self):
+        return (TyVar, (self.name, self.kind))
 
     def _compute_hash(self) -> int:
         return hash(("TyVar", self.name, self.kind))
@@ -326,6 +335,11 @@ class TyUVar(SType):
             return self
         return TyUVar(self.name, self.kind.substitute_reps(mapping))
 
+    def __reduce__(self):
+        # Forces the lazily formatted name of fresh variables, which is
+        # exactly what crossing a process boundary requires anyway.
+        return (TyUVar, (self.name, self.kind))
+
     def _compute_hash(self) -> int:
         return hash(("TyUVar", self.name, self.kind))
 
@@ -390,6 +404,9 @@ class FunTy(SType):
         return FunTy(self.argument.subst_reps(mapping),
                      self.result.subst_reps(mapping))
 
+    def __reduce__(self):
+        return (FunTy, (self.argument, self.result))
+
     def _compute_hash(self) -> int:
         return hash(("FunTy", self.argument, self.result))
 
@@ -450,6 +467,9 @@ class TyApp(SType):
             return self
         return TyApp(self.function.subst_reps(mapping),
                      self.argument.subst_reps(mapping))
+
+    def __reduce__(self):
+        return (TyApp, (self.function, self.argument))
 
     def _compute_hash(self) -> int:
         return hash(("TyApp", self.function, self.argument))
@@ -516,6 +536,9 @@ class UnboxedTupleTy(SType):
         if not mapping or self.free_rep_vars().isdisjoint(mapping):
             return self
         return UnboxedTupleTy(c.subst_reps(mapping) for c in self.components)
+
+    def __reduce__(self):
+        return (UnboxedTupleTy, (self.components,))
 
     def _compute_hash(self) -> int:
         return hash(("UnboxedTupleTy", self.components))
@@ -592,6 +615,9 @@ class ForAllTy(SType):
         binders = tuple(Binder(b.name, b.kind.substitute_reps(filtered))
                         for b in self.binders)
         return ForAllTy(binders, self.body.subst_reps(filtered))
+
+    def __reduce__(self):
+        return (ForAllTy, (self.binders, self.body))
 
     def _compute_hash(self) -> int:
         return hash(("ForAllTy", self.binders, self.body))
@@ -679,6 +705,9 @@ class QualTy(SType):
             ClassConstraint(c.class_name, c.argument.subst_reps(mapping))
             for c in self.constraints)
         return QualTy(constraints, self.body.subst_reps(mapping))
+
+    def __reduce__(self):
+        return (QualTy, (self.constraints, self.body))
 
     def _compute_hash(self) -> int:
         return hash(("QualTy", self.constraints, self.body))

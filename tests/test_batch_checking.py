@@ -1,0 +1,230 @@
+"""Tests for sharded parallel batch checking and the incremental cache.
+
+Covers the batch-path guarantees the driver makes:
+
+* output order matches input order at ``jobs > 1``;
+* a poisoned binding in one shard never affects another program;
+* cache hits return byte-identical results, and editing one source
+  invalidates exactly that entry;
+* results (including full schemes, spans and diagnostics) survive a
+  pickle round-trip — the property the worker IPC relies on.
+"""
+
+import os
+import pickle
+
+from repro.driver import DriverOptions, ResultCache, Session
+from repro.driver.batch import (
+    cache_key,
+    options_fingerprint,
+    payload_bytes,
+    result_from_payload,
+    result_to_payload,
+)
+from repro.__main__ import main
+
+
+def make_corpus(count=12):
+    corpus = []
+    for i in range(count):
+        corpus.append((f"prog_{i}.lev", f"""\
+add{i} :: Int# -> Int# -> Int#
+add{i} x y = x +# y
+main :: Int
+main = {i} + 1
+"""))
+    return corpus
+
+
+class TestSharding:
+    def test_output_order_matches_input_order(self):
+        corpus = make_corpus(11)  # odd count: shards are uneven
+        results = Session().check_many(corpus, jobs=2)
+        assert [r.filename for r in results] == [fn for fn, _ in corpus]
+        # Each program's own binding is in its own result.
+        for i, result in enumerate(results):
+            assert result.bindings[0].name == f"add{i}"
+
+    def test_parallel_matches_serial(self):
+        corpus = make_corpus(6)
+        session = Session()
+        serial = session.check_many(corpus)
+        parallel = session.check_many(corpus, jobs=3)
+        for one, other in zip(serial, parallel):
+            assert one.ok == other.ok
+            assert [b.rendered for b in one.bindings] == \
+                [b.rendered for b in other.bindings]
+
+    def test_poisoned_binding_does_not_leak_across_shards(self):
+        corpus = make_corpus(8)
+        corpus[2] = ("poison.lev",
+                     "bad :: Int#\nbad = notInScope\nalso = 1 + 1\n")
+        results = Session().check_many(corpus, jobs=2)
+        assert not results[2].ok
+        assert any("not in scope" in d.message for d in results[2].diagnostics)
+        # The poisoned module still checked its other binding...
+        assert any(b.name == "also" and b.ok for b in results[2].bindings)
+        # ...and every other program is untouched.
+        assert all(r.ok for i, r in enumerate(results) if i != 2)
+
+    def test_jobs_one_with_more_workers_than_programs(self):
+        corpus = make_corpus(2)
+        results = Session().check_many(corpus, jobs=8)
+        assert [r.ok for r in results] == [True, True]
+
+    def test_duplicate_sources_check_once(self, tmp_path):
+        source = "v :: Int\nv = 1 + 2\n"
+        corpus = [("a.lev", source), ("b.lev", source), ("c.lev", source)]
+        cache = ResultCache(str(tmp_path / "cache.json"))
+        results = Session().check_many(corpus, jobs=2, cache=cache)
+        # One check, one store; every caller still gets its own filename.
+        assert cache.stores == 1
+        assert [r.filename for r in results] == ["a.lev", "b.lev", "c.lev"]
+        assert all(r.ok for r in results)
+        for result in results:
+            assert result.diagnostics == [] and \
+                result.bindings[0].rendered == "Int"
+
+
+class TestIncrementalCache:
+    def test_cache_hits_are_byte_identical(self, tmp_path):
+        corpus = make_corpus(5)
+        path = str(tmp_path / "cache.json")
+        session = Session()
+        cold = session.check_many(corpus, cache=path)
+        warm_cache = ResultCache(path)
+        warm = session.check_many(corpus, cache=warm_cache)
+        assert warm_cache.hits == len(corpus)
+        assert warm_cache.misses == 0
+        assert [payload_bytes(result_to_payload(r)) for r in cold] == \
+            [payload_bytes(result_to_payload(r)) for r in warm]
+
+    def test_editing_one_source_invalidates_exactly_one_entry(self, tmp_path):
+        corpus = make_corpus(6)
+        path = str(tmp_path / "cache.json")
+        Session().check_many(corpus, cache=path)
+        filename, source = corpus[4]
+        corpus[4] = (filename, source.replace("+ 1", "+ 2"))
+        cache = ResultCache(path)
+        results = Session().check_many(corpus, cache=cache)
+        assert cache.hits == 5 and cache.misses == 1
+        assert all(r.ok for r in results)
+
+    def test_renamed_file_reuses_cached_result_with_new_name(self, tmp_path):
+        corpus = make_corpus(3)
+        path = str(tmp_path / "cache.json")
+        Session().check_many(corpus, cache=path)
+        renamed = [(f"renamed_{i}.lev", source)
+                   for i, (_, source) in enumerate(corpus)]
+        cache = ResultCache(path)
+        results = Session().check_many(renamed, cache=cache)
+        assert cache.hits == 3
+        assert [r.filename for r in results] == [fn for fn, _ in renamed]
+
+    def test_failing_results_are_cached_too(self, tmp_path):
+        corpus = [("bad.lev", "x = mystery\n")]
+        path = str(tmp_path / "cache.json")
+        cold = Session().check_many(corpus, cache=path)
+        cache = ResultCache(path)
+        warm = Session().check_many(corpus, cache=cache)
+        assert cache.hits == 1
+        assert not warm[0].ok
+        assert [d.pretty() for d in warm[0].diagnostics] == \
+            [d.pretty() for d in cold[0].diagnostics]
+
+    def test_key_depends_on_options_and_source(self):
+        default = DriverOptions()
+        explicit = DriverOptions(explicit_runtime_reps=True)
+        assert options_fingerprint(default) != options_fingerprint(explicit)
+        assert cache_key("x = 1\n", default) != cache_key("x = 2\n", default)
+        assert cache_key("x = 1\n", default) != cache_key("x = 1\n", explicit)
+
+    def test_corrupt_cache_file_is_a_cold_cache(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        with open(path, "w") as handle:
+            handle.write("{ not json")
+        results = Session().check_many(make_corpus(2), cache=path)
+        assert all(r.ok for r in results)
+        # The save rewrote it as a valid cache.
+        reloaded = ResultCache(path)
+        assert len(reloaded.entries) == 2
+
+    def test_malformed_cache_entry_is_a_miss(self, tmp_path):
+        import json
+
+        corpus = make_corpus(2)
+        path = str(tmp_path / "cache.json")
+        Session().check_many(corpus, cache=path)
+        with open(path) as handle:
+            document = json.load(handle)
+        key = sorted(document["entries"])[0]
+        document["entries"][key] = {}  # truncated/hand-edited entry
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        cache = ResultCache(path)
+        results = Session().check_many(corpus, cache=cache)
+        assert all(r.ok for r in results)
+        # The counters are truthful: the bad entry counted as a miss.
+        assert cache.hits == 1 and cache.misses == 1
+        # The re-check repaired the entry.
+        repaired = ResultCache(path)
+        assert repaired.entries[key] != {}
+
+    def test_run_only_options_do_not_invalidate_the_cache(self, tmp_path):
+        # max_machine_steps never affects Pipeline.check, so changing it
+        # must not cold-start the check cache.
+        corpus = make_corpus(3)
+        path = str(tmp_path / "cache.json")
+        Session(DriverOptions(max_machine_steps=1_000_000)).check_many(
+            corpus, cache=path)
+        cache = ResultCache(path)
+        Session(DriverOptions(max_machine_steps=5)).check_many(
+            corpus, cache=cache)
+        assert cache.hits == 3 and cache.misses == 0
+
+
+class TestPayloads:
+    def test_payload_round_trip_preserves_diagnostics_and_spans(self):
+        result = Session().check("f :: Int#\nf = notHere\n", "p.lev")
+        rebuilt = result_from_payload(result_to_payload(result))
+        assert rebuilt.ok == result.ok
+        assert [d.pretty() for d in rebuilt.diagnostics] == \
+            [d.pretty() for d in result.diagnostics]
+        assert [(b.name, b.rendered, b.ok, b.span) for b in rebuilt.bindings] \
+            == [(b.name, b.rendered, b.ok, b.span) for b in result.bindings]
+
+    def test_full_check_result_pickles_with_schemes(self):
+        # The worker IPC guarantee: interned type/kind/rep nodes define
+        # __reduce__, so even full results (schemes included) cross
+        # process boundaries and re-intern on the other side.
+        source = ("myError :: forall (r :: Rep) (a :: TYPE r). String -> a\n"
+                  "myError s = error s\n"
+                  "pair :: Int# -> (# Int#, Int# #)\n"
+                  "pair n = (# n, n *# n #)\n")
+        result = Session().check(source, "pickled.lev")
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.ok
+        assert [b.rendered for b in clone.bindings] == \
+            [b.rendered for b in result.bindings]
+        for mine, theirs in zip(result.bindings, clone.bindings):
+            assert mine.scheme == theirs.scheme
+            # Hash-consing survives the round trip: equal bodies are the
+            # *same* interned object again.
+            assert mine.scheme.body is theirs.scheme.body
+
+
+class TestCli:
+    def test_check_jobs_and_cache_flags(self, tmp_path, capsys):
+        files = []
+        for i in range(3):
+            path = tmp_path / f"cli_{i}.lev"
+            path.write_text(f"v{i} :: Int\nv{i} = {i} + {i}\n")
+            files.append(str(path))
+        cache = str(tmp_path / "cache.json")
+        code = main(["check", "--jobs", "2", "--cache", cache, *files])
+        assert code == 0
+        assert os.path.exists(cache)
+        out = capsys.readouterr().out
+        assert "v0 :: Int" in out and "v2 :: Int" in out
+        # Warm re-run through the CLI exits cleanly too.
+        assert main(["check", "--jobs", "2", "--cache", cache, *files]) == 0
