@@ -15,6 +15,11 @@ Subcommands:
   to the machine language M, show the code, and run it.
 * ``repl`` — a small read-eval-print loop (declarations accumulate;
   ``:t expr`` shows a type; ``:q`` quits).
+* ``fuzz`` — generate a corpus of random well-typed programs
+  (``--seed``/``--count``/``--depth``), optionally dump it as ``.lev``
+  files (``--emit DIR``) and/or run the differential harness over it
+  (``--check``, sharded with ``--jobs``/``--cache``).  On a failure,
+  ``--save-shrunk DIR`` writes a hypothesis-minimised reproducer.
 
 Examples::
 
@@ -22,6 +27,8 @@ Examples::
     python -m repro run examples/sumto.lev
     python -m repro compile examples/unbox_apply.lev
     echo 'sumTo# 0# 10#' | python -m repro repl
+    python -m repro fuzz --seed 0 --count 200 --check
+    python -m repro fuzz --count 50 --emit /tmp/corpus
 """
 
 from __future__ import annotations
@@ -104,6 +111,62 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import (
+        DifferentialHarness,
+        GenOptions,
+        generate_corpus,
+        save_counterexample,
+        shrink_counterexample,
+    )
+
+    if args.count <= 0:
+        raise _CliError("--count must be positive")
+    if args.max_bindings <= 0:
+        raise _CliError("--max-bindings must be positive")
+    if args.depth < 0:
+        raise _CliError("--depth must be non-negative")
+    if not 0.0 <= args.fragment_bias <= 1.0:
+        raise _CliError("--fragment-bias must be between 0 and 1")
+    gen_options = GenOptions(depth=args.depth,
+                             max_bindings=args.max_bindings,
+                             fragment_bias=args.fragment_bias)
+    programs = generate_corpus(args.seed, args.count, gen_options)
+    if args.emit:
+        os.makedirs(args.emit, exist_ok=True)
+        for program in programs:
+            path = os.path.join(args.emit, program.filename)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(program.source)
+        print(f"emitted {len(programs)} program(s) to {args.emit}")
+    if not args.check:
+        fragment = sum(1 for p in programs if p.fragment)
+        total = sum(len(p.source) for p in programs)
+        print(f"generated {len(programs)} program(s) "
+              f"({fragment} in the L fragment, {total} bytes); "
+              "pass --check to run the differential harness")
+        return 0
+
+    harness = DifferentialHarness(_options(args))
+    report = harness.run_corpus(programs, jobs=args.jobs, cache=args.cache)
+    print(report.pretty())
+    if report.failures and args.save_shrunk:
+        first = report.failures[0]
+        probe = DifferentialHarness(_options(args))
+
+        def still_fails(candidate) -> bool:
+            return any(failure.oracle == first.oracle
+                       for failure in probe.check_program(candidate))
+
+        shrunk = shrink_counterexample(still_fails, gen_options)
+        if shrunk is not None:
+            path = save_counterexample(shrunk, args.save_shrunk, first.oracle)
+            print(f"shrunk {first.oracle!r} reproducer saved to {path}")
+        else:
+            print("no shrunk reproducer found within the search budget")
+    return 0 if report.ok else 1
+
+
 def _cmd_repl(args: argparse.Namespace) -> int:
     session = Session(_options(args))
     interactive = sys.stdin.isatty()
@@ -167,6 +230,40 @@ def build_parser() -> argparse.ArgumentParser:
     repl = sub.add_parser("repl", help="interactive read-eval-print loop")
     repl.add_argument("--explicit-reps", action="store_true")
     repl.set_defaults(func=_cmd_repl)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="generate random well-typed programs and "
+                     "differentially check them (see docs/FUZZ.md)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="corpus seed (program i depends only on "
+                           "(seed, i); default: 0)")
+    fuzz.add_argument("--count", type=int, default=100, metavar="N",
+                      help="number of programs to generate (default: 100)")
+    fuzz.add_argument("--depth", type=int, default=4,
+                      help="maximum expression depth (default: 4)")
+    fuzz.add_argument("--max-bindings", type=int, default=4, metavar="N",
+                      help="maximum helper bindings per program (default: 4)")
+    fuzz.add_argument("--fragment-bias", type=float, default=0.3,
+                      metavar="P",
+                      help="share of programs generated inside the "
+                           "compilable L fragment (default: 0.3)")
+    fuzz.add_argument("--check", action="store_true",
+                      help="run the differential harness (type-check, "
+                           "round-trip, evaluator vs reference vs M machine)")
+    fuzz.add_argument("--emit", default=None, metavar="DIR",
+                      help="write the corpus as .lev files usable by "
+                           "'repro check'")
+    fuzz.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="shard the type-check pass across N workers")
+    fuzz.add_argument("--cache", default=None, metavar="PATH",
+                      help="incremental result cache for the type-check "
+                           "pass (docs/BATCH.md)")
+    fuzz.add_argument("--save-shrunk", default=None, metavar="DIR",
+                      help="on failure, save a hypothesis-shrunk minimal "
+                           ".lev reproducer under DIR")
+    fuzz.add_argument("--explicit-reps", action="store_true")
+    fuzz.add_argument("--no-levity-check", action="store_true")
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     return parser
 

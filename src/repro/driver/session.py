@@ -151,6 +151,9 @@ class RunResult:
     #: Filled in when the entry also lowered to L and ran on the M machine.
     machine_value: Optional[str] = None
     machine_steps: Optional[int] = None
+    #: True/False when the two results are comparable values (integers,
+    #: boxed integers); None when the machine ran but the result has no
+    #: canonical comparison (e.g. a function value).
     machine_agrees: Optional[bool] = None
 
     @property
@@ -167,8 +170,10 @@ class RunResult:
                     if key in ("heap_allocations", "thunk_forces", "primops",
                                "function_calls", "estimated_cycles")))
             if self.machine_value is not None:
-                verdict = ("agrees" if self.machine_agrees
-                           else "DISAGREES")
+                if self.machine_agrees is None:
+                    verdict = "ran (result not comparable)"
+                else:
+                    verdict = "agrees" if self.machine_agrees else "DISAGREES"
                 lines.append(f"M machine {verdict}: {self.machine_value} "
                              f"({self.machine_steps} steps)")
         return "\n".join(lines)
@@ -227,17 +232,34 @@ def _program_from_check(module: Module, check: CheckResult):
     return program
 
 
-def _values_agree(evaluator_value: str, machine_value: str) -> bool:
-    """Do the cost-model evaluator and the M machine show the same result?
+def _machine_agreement(value, heap, machine_result) -> Optional[bool]:
+    """Structurally compare an evaluator value with an M-machine value.
 
-    The compilable fragment only produces integers (raw ``42#`` vs the
-    machine's ``42``) and boxed integers (``I# 42#`` vs ``I#[42]``), so
-    comparing the integer literals of the two renderings is exact.
+    The compilable fragment produces three value shapes: raw integers
+    (``42#`` vs ``42``), boxed integers (``I# 42#`` vs ``I#[42]``) and
+    functions.  Integers compare exactly; functions return None ("not
+    comparable") — the old rendering-based digit comparison reported a
+    bogus DISAGREES whenever a function *body* contained literals (found
+    by corpus fuzzing, pinned in tests/golden/fuzz/function_entry.lev).
     """
-    import re
+    from ..lang_m.syntax import MConLit, MLam, MLit
+    from ..runtime.values import ConstructorCell, HeapRef, UnboxedInt
 
-    return (re.findall(r"-?\d+", evaluator_value)
-            == re.findall(r"-?\d+", machine_value))
+    if isinstance(machine_result, MLit):
+        return isinstance(value, UnboxedInt) \
+            and value.value == machine_result.value
+    if isinstance(machine_result, MConLit):
+        if isinstance(value, HeapRef):
+            cell = heap.load_for_show(value)
+            if isinstance(cell, ConstructorCell) \
+                    and cell.constructor == "I#" and cell.fields:
+                unboxed = cell.fields[0]
+                return isinstance(unboxed, UnboxedInt) \
+                    and unboxed.value == machine_result.value
+        return False
+    if isinstance(machine_result, MLam):
+        return None
+    return None
 
 
 # ---------------------------------------------------------------------------
@@ -420,10 +442,18 @@ class Session:
         additionally lowered, compiled to M (Figure 7) and executed on the
         M machine as a cross-check.
         """
-        check = self.check(source, filename)
+        return self.run_from_check(self.check(source, filename), entry)
+
+    def run_from_check(self, check: CheckResult,
+                       entry: str = "main") -> RunResult:
+        """Evaluate ``entry`` of an already-checked module (full results
+        only: ``check.parsed`` must be present, so slim batch/cache results
+        do not qualify).  Lets callers that already paid for inference —
+        the fuzz harness, notably — skip a second parse+infer pass."""
         result = RunResult(check, entry)
         if not check.ok:
             return result
+        filename = check.filename
 
         from ..runtime.evaluator import Evaluator
 
@@ -457,11 +487,12 @@ class Session:
             check.ok = False
             return result
 
-        self._try_machine_crosscheck(check, entry, result)
+        self._try_machine_crosscheck(check, entry, result, value,
+                                     evaluator.heap)
         return result
 
     def _try_machine_crosscheck(self, check: CheckResult, entry: str,
-                                result: RunResult) -> None:
+                                result: RunResult, value, heap) -> None:
         """Lower + compile + run on the M machine when the fragment allows."""
         from .lower import LoweringError, lower_entry
 
@@ -483,14 +514,22 @@ class Session:
             result.machine_value = ("error" if outcome.aborted
                                     else outcome.unwrap().pretty())
             result.machine_steps = outcome.costs.steps
-            result.machine_agrees = (not outcome.aborted
-                                     and _values_agree(result.value,
-                                                       result.machine_value))
-            if not result.machine_agrees:
+            if outcome.aborted:
+                result.machine_agrees = False
+            else:
+                result.machine_agrees = _machine_agreement(
+                    value, heap, outcome.unwrap())
+            if result.machine_agrees is False:
                 check.diagnostics.append(Diagnostic(
                     "warning", "compile",
                     f"M machine result {result.machine_value!r} disagrees "
                     f"with the evaluator's {result.value!r}",
+                    check.filename, binding=entry))
+            elif result.machine_agrees is None:
+                check.diagnostics.append(Diagnostic(
+                    "note", "compile",
+                    "M machine ran but the result has no canonical "
+                    "comparison (function value)",
                     check.filename, binding=entry))
         except ReproError as exc:
             check.diagnostics.append(Diagnostic(

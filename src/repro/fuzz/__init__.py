@@ -1,0 +1,47 @@
+"""Corpus fuzzing: type-directed program generation + differential checking.
+
+* :mod:`repro.fuzz.generator` — synthesize well-typed ``.lev`` programs by
+  construction, together with independent reference semantics;
+* :mod:`repro.fuzz.harness` — the differential oracles (type-check /
+  round-trip / run / reference value / evaluator↔M-machine);
+* :mod:`repro.fuzz.strategies` — hypothesis strategies and shrinking.
+
+See ``docs/FUZZ.md`` for the design and the oracle table, and
+``python -m repro fuzz --help`` for the CLI.
+"""
+
+from .generator import (
+    Choices,
+    GenOptions,
+    GenProgram,
+    GeneratorError,
+    ProgramGenerator,
+    generate_corpus,
+    generate_program,
+    render_value,
+)
+from .harness import DifferentialHarness, FuzzFailure, FuzzReport
+from .strategies import (
+    HAVE_HYPOTHESIS,
+    generated_programs,
+    save_counterexample,
+    shrink_counterexample,
+)
+
+__all__ = [
+    "Choices",
+    "DifferentialHarness",
+    "FuzzFailure",
+    "FuzzReport",
+    "GenOptions",
+    "GenProgram",
+    "GeneratorError",
+    "HAVE_HYPOTHESIS",
+    "ProgramGenerator",
+    "generate_corpus",
+    "generate_program",
+    "generated_programs",
+    "render_value",
+    "save_counterexample",
+    "shrink_counterexample",
+]

@@ -1,0 +1,1272 @@
+"""Type-directed generation of well-typed surface programs (corpus fuzzing).
+
+The generator synthesizes random ``.lev`` programs that are **well-typed by
+construction**: every expression is built *at* a target type, every binder
+and call site is assembled from pieces whose types are known, and "never
+infer levity polymorphism" is respected (representation-polymorphic bindings
+always carry an explicit ``forall (r :: Rep)`` signature).  Programs are
+emitted as concrete source text, so every generated program flows through
+the real lexer and parser — not the AST backdoor.
+
+Two further design points make the corpus *checkable*, not just parseable:
+
+* **Reference semantics by construction.**  Alongside each expression the
+  generator builds an independent Python closure computing its value (exact
+  integers, IEEE doubles, Python tuples/strings/bools).  The differential
+  harness compares the cost-model evaluator's output against this reference
+  — a third semantic backend next to the evaluator and the Figure-7 M
+  machine, in the cross-validation spirit of ESBMC-PLC.  Reference functions
+  are total on everything the generated ``main`` can reach: calls to
+  ``error``/``undefined`` only ever appear in positions the generator can
+  prove dead (unused lazy lets, untaken branches of constant scrutinees,
+  bindings ``main`` never calls).
+
+* **An L-fragment mode.**  A slice of the corpus (``fragment_bias``) is
+  generated inside the compilable fragment of ``repro.driver.lower`` —
+  ``Int``/``Int#`` arrows, annotated lambdas, ``I#`` boxing, the unboxing
+  ``case``, signed lets, no recursion, no primops — so the evaluator↔machine
+  differential oracle engages on a guaranteed share of programs instead of
+  by accident.
+
+Randomness flows through the tiny :class:`Choices` interface so the same
+generator runs off a seeded :class:`random.Random` (CLI, benchmarks) or off
+hypothesis draws (property tests — which buys hypothesis-driven shrinking of
+any counterexample for free, see :mod:`repro.fuzz.strategies`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.kinds import REP_KIND, TypeKind
+from ..core.rep import RepVar
+from ..surface.ast import (
+    Alternative,
+    Decl,
+    EAnn,
+    EApp,
+    EBool,
+    ECase,
+    EIf,
+    ELam,
+    ELet,
+    ELitDoubleHash,
+    ELitInt,
+    ELitIntHash,
+    ELitString,
+    EUnboxedTuple,
+    EVar,
+    Expr,
+    FunBind,
+    Module,
+    TypeSig,
+    apply,
+)
+from ..surface.types import (
+    BOOL_TY,
+    Binder,
+    DOUBLE_HASH_TY,
+    ForAllTy,
+    FunTy,
+    INT_HASH_TY,
+    INT_TY,
+    MAYBE_TY,
+    STRING_TY,
+    SType,
+    TyApp,
+    TyVar,
+    UnboxedTupleTy,
+    fun,
+)
+
+__all__ = [
+    "Choices",
+    "GenOptions",
+    "GenProgram",
+    "GeneratorError",
+    "ProgramGenerator",
+    "generate_corpus",
+    "generate_program",
+    "render_value",
+]
+
+#: The environment a reference function runs in: binder name -> value.
+Env = Dict[str, object]
+#: The independent reference semantics of a generated expression.
+RefFn = Callable[[Env], object]
+
+MAYBE_INT_TY = TyApp(MAYBE_TY, INT_TY)
+PAIR_HASH_TY = UnboxedTupleTy((INT_HASH_TY, INT_HASH_TY))
+MIXED_PAIR_TY = UnboxedTupleTy((INT_HASH_TY, DOUBLE_HASH_TY))
+
+#: Types of kind ``Type`` (boxed and lifted) — the only legal instantiations
+#: of the lifted binders of ``($)`` and ``(.)``.
+LIFTED_TYPES: Tuple[SType, ...] = (INT_TY, BOOL_TY, STRING_TY, MAYBE_INT_TY)
+#: First-order types the general structural machinery ranges over.
+SCALAR_TYPES: Tuple[SType, ...] = (INT_HASH_TY, INT_TY, DOUBLE_HASH_TY,
+                                   BOOL_TY)
+#: The only types the compilable L fragment knows.
+FRAGMENT_TYPES: Tuple[SType, ...] = (INT_TY, INT_HASH_TY)
+
+#: ``forall (r :: Rep) (a :: TYPE r). String -> a`` — the error-like shape.
+LEVITY_POLY_SIG: SType = ForAllTy(
+    (Binder("r", REP_KIND), Binder("a", TypeKind(RepVar("r")))),
+    FunTy(STRING_TY, TyVar("a", TypeKind(RepVar("r")))))
+
+
+class GeneratorError(Exception):
+    """The generator violated one of its own invariants (a fuzzer bug)."""
+
+
+# ---------------------------------------------------------------------------
+# Randomness
+# ---------------------------------------------------------------------------
+
+
+class Choices:
+    """The randomness interface the generator draws from.
+
+    The default implementation wraps a seeded :class:`random.Random`; the
+    hypothesis strategy substitutes draws from the choice sequence, which
+    makes every generated program shrinkable.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+
+    def int_between(self, low: int, high: int) -> int:
+        return self._rng.randint(low, high)
+
+    def pick(self, options: Sequence):
+        if not options:
+            raise GeneratorError("pick() from an empty option list")
+        return options[self._rng.randrange(len(options))]
+
+    def chance(self, probability: float) -> bool:
+        return self._rng.random() < probability
+
+
+# ---------------------------------------------------------------------------
+# Options and results
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GenOptions:
+    """Tuning knobs for the generator."""
+
+    #: Maximum expression depth (structural nodes consume one unit each).
+    depth: int = 4
+    #: Maximum number of helper bindings before ``main``.
+    max_bindings: int = 4
+    #: Share of programs generated inside the compilable L fragment.
+    fragment_bias: float = 0.3
+    #: Occasionally emit 15–18 digit literals (catches precision bugs).
+    big_literals: bool = True
+
+
+@dataclass(frozen=True)
+class GenProgram:
+    """One generated program plus everything the oracles need."""
+
+    filename: str
+    source: str
+    module: Module
+    #: Intended full type of every binding (signature or anchored inference).
+    intended: Dict[str, SType]
+    #: Bindings deliberately generated *without* a signature (inference must
+    #: still agree with the intended type exactly).
+    unsigned: frozenset
+    #: Generated inside the compilable L fragment (the machine oracle is
+    #: then mandatory, not best-effort).
+    fragment: bool
+    main_type: SType
+    #: The reference semantics' rendering of ``main`` (None for function
+    #: types, which have no canonical printed value).
+    expected_value: Optional[str]
+    #: Flavors of the helper bindings (for coverage accounting).
+    flavors: Tuple[str, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# Reference-semantics helpers
+# ---------------------------------------------------------------------------
+
+
+def _exact_quot(a: int, b: int) -> int:
+    """``quotInt#``: truncate-towards-zero division, total at ``b == 0``.
+
+    Deliberately a *different formulation* from the evaluator's primop
+    (``int()`` on an exact rational truncates toward zero), so a bug in one
+    implementation cannot hide in the other — the whole point of the
+    reference oracle.
+    """
+    if b == 0:
+        return 0
+    from fractions import Fraction
+
+    return int(Fraction(a, b))
+
+
+def _exact_rem(a: int, b: int) -> int:
+    if b == 0:
+        return 0
+    return a - b * _exact_quot(a, b)
+
+
+#: name -> (operand type, result type, python semantics) for binary primops
+#: and boxed helpers the generator emits in infix/section form.
+_INT_HASH_OPS = {
+    "+#": lambda a, b: a + b,
+    "-#": lambda a, b: a - b,
+    "*#": lambda a, b: a * b,
+}
+_INT_HASH_CMPS = {
+    "<#": lambda a, b: int(a < b),
+    ">#": lambda a, b: int(a > b),
+    "<=#": lambda a, b: int(a <= b),
+    ">=#": lambda a, b: int(a >= b),
+    "==#": lambda a, b: int(a == b),
+    "/=#": lambda a, b: int(a != b),
+}
+_INT_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+}
+_DOUBLE_OPS = {
+    "+##": lambda a, b: a + b,
+    "-##": lambda a, b: a - b,
+    "*##": lambda a, b: a * b,
+}
+_DOUBLE_CMPS = {
+    "<##": lambda a, b: int(a < b),
+    "==##": lambda a, b: int(a == b),
+}
+
+
+def _binop(op: str, left: Expr, right: Expr) -> Expr:
+    return EApp(EApp(EVar(op), left), right)
+
+
+def _curry(fn: Callable[..., object], arity: int) -> object:
+    """View an n-ary Python function as a curried chain of 1-ary closures."""
+    if arity == 0:
+        return fn()
+
+    def take(collected: Tuple[object, ...]):
+        def step(value: object):
+            got = collected + (value,)
+            if len(got) == arity:
+                return fn(*got)
+            return take(got)
+        return step
+    return take(())
+
+
+def _dead(env: Env) -> object:
+    raise GeneratorError(
+        "the reference semantics reached code the generator placed as dead")
+
+
+def render_value(type_: SType, value: object) -> Optional[str]:
+    """Render a reference value the way the evaluator's ``show`` would.
+
+    Returns None for types without a canonical printed form (functions).
+    """
+    if isinstance(type_, FunTy):
+        return None
+    if type_ == INT_HASH_TY:
+        return f"{value}#"
+    if type_ == DOUBLE_HASH_TY:
+        return f"{value}##"
+    if type_ == INT_TY:
+        return f"(I# {value}#)"
+    if type_ == BOOL_TY:
+        return "True" if value else "False"
+    if type_ == STRING_TY:
+        return repr(value)
+    if type_ == MAYBE_INT_TY:
+        return "Nothing" if value is None else f"(Just (I# {value}#))"
+    if isinstance(type_, UnboxedTupleTy):
+        parts = [render_value(component, item)
+                 for component, item in zip(type_.components, value)]
+        if any(part is None for part in parts):
+            return None
+        return f"(# {', '.join(parts)} #)"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Generation context
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Ctx:
+    """What the expression generator may use at the current position."""
+
+    vars: Tuple[Tuple[str, SType], ...] = ()
+    depth: int = 4
+    #: The expression will actually be evaluated by ``main`` — no calls to
+    #: ``error``/``undefined``/unsafe bindings outside provably dead spots.
+    runnable: bool = True
+    #: Stay inside the compilable L fragment.
+    fragment: bool = False
+    #: The enclosing binding has no signature: every sub-expression must
+    #: pin its type without help (annotated lambda binders, no bare
+    #: ``Nothing``), so inference lands exactly on the intended type.
+    anchored: bool = False
+    #: Keep integer magnitudes tiny (conversion operands, loop bounds).
+    small: bool = False
+
+    def with_var(self, name: str, type_: SType) -> "_Ctx":
+        kept = tuple((n, t) for n, t in self.vars if n != name)
+        return replace(self, vars=kept + ((name, type_),))
+
+    def deeper(self) -> "_Ctx":
+        return replace(self, depth=self.depth - 1)
+
+
+@dataclass(frozen=True)
+class _TopBinding:
+    """A helper binding earlier in the module, available for calls."""
+
+    name: str
+    type: SType
+    #: Curried reference value (a Python closure chain for functions).
+    ref: object
+    #: May ``main``'s live call graph reach this binding?
+    safe: bool
+    #: Stays inside the L fragment (so fragment programs may call it).
+    fragment: bool
+    #: Per-parameter generation hints (``"small"`` bounds loop counters).
+    hints: Tuple[Optional[str], ...] = ()
+
+
+def _param_types(type_: SType) -> Tuple[List[SType], SType]:
+    params: List[SType] = []
+    current = type_
+    while isinstance(current, FunTy):
+        params.append(current.argument)
+        current = current.result
+    return params, current
+
+
+# ---------------------------------------------------------------------------
+# The generator
+# ---------------------------------------------------------------------------
+
+
+class ProgramGenerator:
+    """Type-directed program synthesis over one :class:`Choices` stream."""
+
+    def __init__(self, choices: Choices,
+                 options: Optional[GenOptions] = None) -> None:
+        self.choices = choices
+        self.options = options or GenOptions()
+        self._counter = 0
+        self._bindings: List[_TopBinding] = []
+
+    # -- small utilities -----------------------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def _int_value(self, ctx: _Ctx) -> int:
+        if ctx.small:
+            return self.choices.int_between(-9, 99)
+        if self.options.big_literals and self.choices.chance(0.07):
+            magnitude = self.choices.int_between(10 ** 14, 10 ** 18)
+            return -magnitude if self.choices.chance(0.3) else magnitude
+        return self.choices.int_between(-99, 99)
+
+    def _double_value(self) -> float:
+        # Eighths of small integers render without exponents and round-trip
+        # the lexer exactly.
+        return self.choices.int_between(-800, 800) / 8.0
+
+    def _string_value(self) -> str:
+        return f"s{self.choices.int_between(0, 99)}"
+
+    # -- leaves ---------------------------------------------------------------
+
+    def _leaves(self, target: SType, ctx: _Ctx) -> List[Callable]:
+        out: List[Callable] = []
+        if target == INT_HASH_TY:
+            out.append(lambda: self._const(ELitIntHash, self._int_value(ctx)))
+        elif target == INT_TY:
+            out.append(lambda: self._const(ELitInt, self._int_value(ctx)))
+        elif target == DOUBLE_HASH_TY:
+            out.append(lambda: self._const(ELitDoubleHash,
+                                           self._double_value()))
+        elif target == BOOL_TY:
+            out.append(lambda: self._bool_leaf())
+        elif target == STRING_TY:
+            out.append(lambda: self._const(ELitString, self._string_value()))
+        elif target == MAYBE_INT_TY:
+            out.append(lambda: self._just_leaf(ctx))
+            if not ctx.anchored:
+                out.append(lambda: (EVar("Nothing"), lambda env: None))
+        elif isinstance(target, UnboxedTupleTy):
+            out.append(lambda: self._tuple_node(target,
+                                                replace(ctx, depth=0)))
+        for name, type_ in ctx.vars:
+            if type_ == target:
+                out.append(self._var_leaf(name))
+        return out
+
+    @staticmethod
+    def _const(node, value):
+        return node(value), (lambda env: value)
+
+    def _bool_leaf(self):
+        value = self.choices.chance(0.5)
+        return EBool(value), (lambda env: value)
+
+    def _just_leaf(self, ctx: _Ctx):
+        value = self._int_value(ctx)
+        return EApp(EVar("Just"), ELitInt(value)), (lambda env: value)
+
+    @staticmethod
+    def _var_leaf(name: str):
+        return lambda: (EVar(name), (lambda env, _n=name: env[_n]))
+
+    # -- the main dispatch ----------------------------------------------------
+
+    def gen(self, target: SType, ctx: _Ctx) -> Tuple[Expr, RefFn]:
+        if isinstance(target, FunTy):
+            return self._gen_function(target, ctx)
+        leaves = self._leaves(target, ctx)
+        if ctx.depth <= 0:
+            return self.choices.pick(leaves)()
+        nodes = self._nodes(target, ctx)
+        if nodes and self.choices.chance(0.75):
+            return self.choices.pick(nodes)()
+        return self.choices.pick(leaves)()
+
+    # -- compound nodes -------------------------------------------------------
+
+    def _nodes(self, target: SType, ctx: _Ctx) -> List[Callable]:
+        inner = ctx.deeper()
+        out: List[Callable] = []
+
+        if target == INT_HASH_TY:
+            out.extend(self._int_hash_nodes(inner))
+        elif target == INT_TY:
+            out.extend(self._int_nodes(inner))
+        elif target == DOUBLE_HASH_TY:
+            out.extend(self._double_nodes(inner))
+        elif target == BOOL_TY:
+            out.extend(self._bool_nodes(inner))
+        elif target == STRING_TY and not ctx.fragment:
+            out.append(lambda: self._op_node("appendString", STRING_TY,
+                                             STRING_TY, inner,
+                                             lambda a, b: a + b))
+        elif isinstance(target, UnboxedTupleTy) and not ctx.fragment:
+            out.append(lambda: self._tuple_node(target, inner))
+
+        # Structural forms available at (almost) every target type.
+        out.append(lambda: self._let_node(target, inner))
+        out.append(lambda: self._case_node(target, inner))
+        out.append(lambda: self._app_node(target, inner))
+        out.append(lambda: (lambda pair:
+                            (EAnn(pair[0], target), pair[1]))(
+                                self.gen(target, inner)))
+        calls = self._call_builders(target, inner)
+        out.extend(calls)
+        if not ctx.fragment:
+            out.append(lambda: self._if_node(target, inner))
+            out.append(lambda: self._dollar_node(target, inner))
+            out.append(lambda: self._one_shot_node(target, inner))
+            out.append(lambda: self._run_rw_node(target, inner))
+            if not ctx.small:
+                out.append(lambda: self._compose_node(target, inner))
+            if ctx.runnable:
+                out.append(lambda: self._dead_branch_node(target, inner))
+                out.append(lambda: self._dead_let_node(target, inner))
+            else:
+                out.append(lambda: self._bottom_node(target))
+        return out
+
+    def _bottom_node(self, target: SType) -> Tuple[Expr, RefFn]:
+        """⊥ at any representation — only reachable from dead bindings.
+
+        Always annotated: a bare ⊥ has a free representation variable, and
+        in an unconstrained position (unsigned let rhs, unused argument)
+        rep-defaulting would pin it to LiftedRep — a type error at an
+        unboxed target, or a levity violation at a lambda binder.
+        """
+        choices = ["error", "undefined"]
+        levity = [binding for binding in self._bindings
+                  if binding.type == LEVITY_POLY_SIG]
+        if levity:
+            choices.append("levity-call")
+        choice = self.choices.pick(choices)
+        if choice == "undefined":
+            bottom: Expr = EVar("undefined")
+        elif choice == "levity-call":
+            binding = self.choices.pick(levity)
+            bottom = EApp(EVar(binding.name),
+                          ELitString(self._string_value()))
+        else:
+            bottom = EApp(EVar("error"), ELitString(self._string_value()))
+        return EAnn(bottom, target), _dead
+
+    # scalar-specific producers ------------------------------------------------
+
+    def _op_node(self, op: str, operand: SType, result: SType, ctx: _Ctx,
+                 semantics) -> Tuple[Expr, RefFn]:
+        left, left_ref = self.gen(operand, ctx)
+        right, right_ref = self.gen(operand, ctx)
+        return (_binop(op, left, right),
+                lambda env: semantics(left_ref(env), right_ref(env)))
+
+    def _unary_node(self, op: str, operand: SType, ctx: _Ctx,
+                    semantics) -> Tuple[Expr, RefFn]:
+        inner, inner_ref = self.gen(operand, ctx)
+        return EApp(EVar(op), inner), (lambda env: semantics(inner_ref(env)))
+
+    def _int_hash_nodes(self, ctx: _Ctx) -> List[Callable]:
+        if ctx.fragment:
+            return [lambda: self._unbox_case_node(INT_HASH_TY, ctx)]
+
+        def arith():
+            op = self.choices.pick(sorted(_INT_HASH_OPS))
+            return self._op_node(op, INT_HASH_TY, INT_HASH_TY, ctx,
+                                 _INT_HASH_OPS[op])
+
+        def compare():
+            op = self.choices.pick(sorted(_INT_HASH_CMPS))
+            return self._op_node(op, INT_HASH_TY, INT_HASH_TY, ctx,
+                                 _INT_HASH_CMPS[op])
+
+        def double_compare():
+            op = self.choices.pick(sorted(_DOUBLE_CMPS))
+            return self._op_node(op, DOUBLE_HASH_TY, INT_HASH_TY, ctx,
+                                 _DOUBLE_CMPS[op])
+
+        def quot_rem():
+            op = self.choices.pick(["quotInt#", "remInt#"])
+            semantics = _exact_quot if op == "quotInt#" else _exact_rem
+            left, left_ref = self.gen(INT_HASH_TY, ctx)
+            right, right_ref = self.gen(INT_HASH_TY, ctx)
+            return (apply(EVar(op), left, right),
+                    lambda env: semantics(left_ref(env), right_ref(env)))
+
+        def negate():
+            return self._unary_node("negateInt#", INT_HASH_TY, ctx,
+                                    lambda a: -a)
+
+        def unbox():
+            return self._unbox_case_node(INT_HASH_TY, ctx)
+
+        return [arith, compare, double_compare, quot_rem, negate, unbox]
+
+    def _unbox_case_node(self, target: SType, ctx: _Ctx) -> Tuple[Expr, RefFn]:
+        """``case <Int expr> of { I# x -> <Int# expr using x> }``."""
+        scrutinee, scrutinee_ref = self.gen(INT_TY, ctx)
+        binder = self._fresh("u")
+        body_ctx = ctx.with_var(binder, INT_HASH_TY)
+        body, body_ref = self.gen(target, body_ctx)
+        expr = ECase(scrutinee, [Alternative("I#", [binder], body)])
+        return expr, (lambda env:
+                      body_ref({**env, binder: scrutinee_ref(env)}))
+
+    def _int_nodes(self, ctx: _Ctx) -> List[Callable]:
+        def box():
+            inner, inner_ref = self.gen(INT_HASH_TY, ctx)
+            return EApp(EVar("I#"), inner), inner_ref
+
+        if ctx.fragment:
+            return [box]
+
+        def arith():
+            op = self.choices.pick(sorted(_INT_OPS))
+            return self._op_node(op, INT_TY, INT_TY, ctx, _INT_OPS[op])
+
+        def negate():
+            return self._unary_node("negate", INT_TY, ctx, lambda a: -a)
+
+        return [arith, negate, box]
+
+    def _double_nodes(self, ctx: _Ctx) -> List[Callable]:
+        def arith():
+            op = self.choices.pick(sorted(_DOUBLE_OPS))
+            return self._op_node(op, DOUBLE_HASH_TY, DOUBLE_HASH_TY, ctx,
+                                 _DOUBLE_OPS[op])
+
+        def divide():
+            # The divisor is a non-zero literal, so division is total and
+            # float-exact on both sides.
+            left, left_ref = self.gen(DOUBLE_HASH_TY, ctx)
+            divisor = self._double_value()
+            if divisor == 0.0:
+                divisor = 8.0
+            return (_binop("/##", left, ELitDoubleHash(divisor)),
+                    lambda env: left_ref(env) / divisor)
+
+        def negate():
+            return self._unary_node("negateDouble#", DOUBLE_HASH_TY, ctx,
+                                    lambda a: -a)
+
+        def from_int():
+            # Small operands only: float(huge int) could overflow a double.
+            inner, inner_ref = self.gen(INT_HASH_TY,
+                                        replace(ctx, small=True, depth=1))
+            return (EApp(EVar("int2Double#"), inner),
+                    lambda env: float(inner_ref(env)))
+
+        return [arith, divide, negate, from_int]
+
+    def _bool_nodes(self, ctx: _Ctx) -> List[Callable]:
+        def compare():
+            op = self.choices.pick(["eqInt", "ltInt"])
+            semantics = (lambda a, b: a == b) if op == "eqInt" \
+                else (lambda a, b: a < b)
+            left, left_ref = self.gen(INT_TY, ctx)
+            right, right_ref = self.gen(INT_TY, ctx)
+            return (apply(EVar(op), left, right),
+                    lambda env: semantics(left_ref(env), right_ref(env)))
+
+        def negate():
+            return self._unary_node("not", BOOL_TY, ctx, lambda a: not a)
+
+        def connective():
+            op = self.choices.pick(["&&", "||"])
+            semantics = (lambda a, b: a and b) if op == "&&" \
+                else (lambda a, b: a or b)
+            return self._op_node(op, BOOL_TY, BOOL_TY, ctx, semantics)
+
+        return [compare, negate, connective]
+
+    def _tuple_node(self, target: UnboxedTupleTy,
+                    ctx: _Ctx) -> Tuple[Expr, RefFn]:
+        pieces = [self.gen(component, ctx)
+                  for component in target.components]
+        refs = [ref for _, ref in pieces]
+        return (EUnboxedTuple([expr for expr, _ in pieces]),
+                lambda env: tuple(ref(env) for ref in refs))
+
+    # structural producers ----------------------------------------------------
+
+    def _if_node(self, target: SType, ctx: _Ctx) -> Tuple[Expr, RefFn]:
+        condition, condition_ref = self.gen(BOOL_TY, ctx)
+        consequent, consequent_ref = self.gen(target, ctx)
+        alternative, alternative_ref = self.gen(target, ctx)
+        return (EIf(condition, consequent, alternative),
+                lambda env: consequent_ref(env) if condition_ref(env)
+                else alternative_ref(env))
+
+    def _let_node(self, target: SType, ctx: _Ctx) -> Tuple[Expr, RefFn]:
+        pool = FRAGMENT_TYPES if ctx.fragment else SCALAR_TYPES
+        rhs_type = self.choices.pick(list(pool))
+        name = self._fresh("v")
+        rhs, rhs_ref = self.gen(rhs_type, ctx)
+        body, body_ref = self.gen(target, ctx.with_var(name, rhs_type))
+        signed = ctx.fragment or self.choices.chance(0.5)
+        expr = ELet(name, rhs, body, signature=rhs_type if signed else None)
+        return expr, (lambda env:
+                      body_ref({**env, name: rhs_ref(env)}))
+
+    def _dead_let_node(self, target: SType, ctx: _Ctx) -> Tuple[Expr, RefFn]:
+        """A *lazy* let whose rhs is ⊥ — never forced because never used.
+
+        The binder gets a boxed, lifted signature, so the thunk is legal
+        (an unboxed let would be strict, and forcing it would crash).
+        """
+        name = self._fresh("dead")
+        rhs = EApp(EVar("error"), ELitString("never forced"))
+        body, body_ref = self.gen(target, ctx)
+        expr = ELet(name, rhs, body, signature=INT_TY)
+        return expr, body_ref
+
+    def _dead_branch_node(self, target: SType,
+                          ctx: _Ctx) -> Tuple[Expr, RefFn]:
+        """``case K# of { K# -> live ; _ -> error … }`` — a dead branch."""
+        key = self.choices.int_between(-9, 9)
+        live, live_ref = self.gen(target, ctx)
+        dead = EApp(EVar("error"), ELitString("unreachable"))
+        expr = ECase(ELitIntHash(key),
+                     [Alternative(f"{key}#", [], live),
+                      Alternative("_", [], dead)])
+        return expr, live_ref
+
+    def _case_node(self, target: SType, ctx: _Ctx) -> Tuple[Expr, RefFn]:
+        if ctx.fragment:
+            return self._unbox_case_node(target, ctx)
+        scrutinee_type = self.choices.pick(
+            [INT_HASH_TY, INT_TY, BOOL_TY, MAYBE_INT_TY, PAIR_HASH_TY])
+        if scrutinee_type == BOOL_TY:
+            return self._bool_case_node(target, ctx)
+        if scrutinee_type == MAYBE_INT_TY:
+            return self._maybe_case_node(target, ctx)
+        if scrutinee_type == PAIR_HASH_TY:
+            return self._pair_case_node(target, ctx)
+        if scrutinee_type == INT_TY and self.choices.chance(0.5):
+            return self._unbox_case_node(target, ctx)
+        return self._literal_case_node(target, scrutinee_type, ctx)
+
+    def _literal_case_node(self, target: SType, scrutinee_type: SType,
+                           ctx: _Ctx) -> Tuple[Expr, RefFn]:
+        """Literal alternatives (Int# or boxed Int patterns) plus ``_``."""
+        scrutinee, scrutinee_ref = self.gen(scrutinee_type, ctx)
+        count = self.choices.int_between(1, 2)
+        keys: List[int] = []
+        while len(keys) < count:
+            key = self.choices.int_between(-9, 9)
+            if key not in keys:
+                keys.append(key)
+        suffix = "#" if scrutinee_type == INT_HASH_TY else ""
+        alternatives = []
+        branch_refs = []
+        for key in keys:
+            rhs, rhs_ref = self.gen(target, ctx)
+            alternatives.append(Alternative(f"{key}{suffix}", [], rhs))
+            branch_refs.append((key, rhs_ref))
+        default, default_ref = self.gen(target, ctx)
+        alternatives.append(Alternative("_", [], default))
+
+        def ref(env: Env) -> object:
+            value = scrutinee_ref(env)
+            for key, rhs_ref in branch_refs:
+                if value == key:
+                    return rhs_ref(env)
+            return default_ref(env)
+
+        return ECase(scrutinee, alternatives), ref
+
+    def _bool_case_node(self, target: SType, ctx: _Ctx) -> Tuple[Expr, RefFn]:
+        scrutinee, scrutinee_ref = self.gen(BOOL_TY, ctx)
+        on_true, true_ref = self.gen(target, ctx)
+        on_false, false_ref = self.gen(target, ctx)
+        alternatives = [Alternative("True", [], on_true),
+                        Alternative("False", [], on_false)]
+        if self.choices.chance(0.5):
+            alternatives.reverse()
+        return (ECase(scrutinee, alternatives),
+                lambda env: true_ref(env) if scrutinee_ref(env)
+                else false_ref(env))
+
+    def _maybe_case_node(self, target: SType, ctx: _Ctx) -> Tuple[Expr, RefFn]:
+        scrutinee, scrutinee_ref = self.gen(MAYBE_INT_TY, ctx)
+        binder = self._fresh("j")
+        just_rhs, just_ref = self.gen(target, ctx.with_var(binder, INT_TY))
+        nothing_rhs, nothing_ref = self.gen(target, ctx)
+        alternatives = [Alternative("Just", [binder], just_rhs),
+                        Alternative("Nothing", [], nothing_rhs)]
+        if self.choices.chance(0.5):
+            alternatives.reverse()
+
+        def ref(env: Env) -> object:
+            value = scrutinee_ref(env)
+            if value is None:
+                return nothing_ref(env)
+            return just_ref({**env, binder: value})
+
+        return ECase(scrutinee, alternatives), ref
+
+    def _pair_case_node(self, target: SType, ctx: _Ctx) -> Tuple[Expr, RefFn]:
+        scrutinee, scrutinee_ref = self.gen(PAIR_HASH_TY, ctx)
+        first, second = self._fresh("t"), self._fresh("t")
+        body_ctx = ctx.with_var(first, INT_HASH_TY) \
+                      .with_var(second, INT_HASH_TY)
+        body, body_ref = self.gen(target, body_ctx)
+        expr = ECase(scrutinee, [Alternative("(#,#)", [first, second], body)])
+
+        def ref(env: Env) -> object:
+            left, right = scrutinee_ref(env)
+            return body_ref({**env, first: left, second: right})
+
+        return expr, ref
+
+    def _app_node(self, target: SType, ctx: _Ctx) -> Tuple[Expr, RefFn]:
+        """A general application ``f x`` at a generated function type."""
+        pool = FRAGMENT_TYPES if ctx.fragment else SCALAR_TYPES
+        argument_type = self.choices.pick(list(pool))
+        function, function_ref = self.gen(FunTy(argument_type, target), ctx)
+        argument, argument_ref = self.gen(argument_type, ctx)
+        return (EApp(function, argument),
+                lambda env: function_ref(env)(argument_ref(env)))
+
+    def _dollar_node(self, target: SType, ctx: _Ctx) -> Tuple[Expr, RefFn]:
+        """``f $ x`` — ``x`` lifted, the result at any representation."""
+        argument_type = self.choices.pick(list(LIFTED_TYPES))
+        function, function_ref = self.gen(FunTy(argument_type, target), ctx)
+        argument, argument_ref = self.gen(argument_type, ctx)
+        return (_binop("$", function, argument),
+                lambda env: function_ref(env)(argument_ref(env)))
+
+    def _one_shot_node(self, target: SType, ctx: _Ctx) -> Tuple[Expr, RefFn]:
+        pool = SCALAR_TYPES
+        argument_type = self.choices.pick(list(pool))
+        function, function_ref = self.gen(FunTy(argument_type, target), ctx)
+        argument, argument_ref = self.gen(argument_type, ctx)
+        return (apply(EVar("oneShot"), function, argument),
+                lambda env: function_ref(env)(argument_ref(env)))
+
+    def _run_rw_node(self, target: SType, ctx: _Ctx) -> Tuple[Expr, RefFn]:
+        """``runRW# (\\s -> e)`` — the state token is the empty tuple."""
+        state = self._fresh("s")
+        body, body_ref = self.gen(target, ctx)
+        return (EApp(EVar("runRW#"), ELam(state, body)), body_ref)
+
+    def _compose_node(self, target: SType, ctx: _Ctx) -> Tuple[Expr, RefFn]:
+        middle_type = self.choices.pick(list(LIFTED_TYPES))
+        argument_type = self.choices.pick(list(LIFTED_TYPES))
+        outer, outer_ref = self.gen(FunTy(middle_type, target), ctx)
+        inner, inner_ref = self.gen(FunTy(argument_type, middle_type), ctx)
+        argument, argument_ref = self.gen(argument_type, ctx)
+        return (apply(EVar("."), outer, inner, argument),
+                lambda env: outer_ref(env)(inner_ref(env)(argument_ref(env))))
+
+    def _call_builders(self, target: SType, ctx: _Ctx) -> List[Callable]:
+        """Saturated calls to earlier top-level bindings returning target."""
+        out: List[Callable] = []
+        for binding in self._bindings:
+            if ctx.runnable and not binding.safe:
+                continue
+            if ctx.fragment and not binding.fragment:
+                continue
+            params, result = _param_types(binding.type)
+            if result != target or not params:
+                continue
+            out.append(self._make_call(binding, params, ctx))
+        # Saturated calls through function-typed local variables.
+        for name, type_ in ctx.vars:
+            params, result = _param_types(type_)
+            if result != target or not params:
+                continue
+            out.append(self._make_var_call(name, params, ctx))
+        return out
+
+    def _make_call(self, binding: _TopBinding, params: List[SType],
+                   ctx: _Ctx) -> Callable:
+        def build() -> Tuple[Expr, RefFn]:
+            argument_pairs = []
+            for index, param in enumerate(params):
+                hint = binding.hints[index] if index < len(binding.hints) \
+                    else None
+                if hint == "small":
+                    value = self.choices.int_between(0, 40)
+                    argument_pairs.append(
+                        (ELitIntHash(value), lambda env, _v=value: _v))
+                else:
+                    argument_pairs.append(self.gen(param, ctx))
+            refs = [ref for _, ref in argument_pairs]
+
+            def ref(env: Env, _refs=refs, _fn=binding.ref) -> object:
+                value = _fn
+                for argument_ref in _refs:
+                    value = value(argument_ref(env))
+                return value
+
+            return (apply(EVar(binding.name),
+                          *[expr for expr, _ in argument_pairs]), ref)
+        return build
+
+    def _make_var_call(self, name: str, params: List[SType],
+                       ctx: _Ctx) -> Callable:
+        def build() -> Tuple[Expr, RefFn]:
+            argument_pairs = [self.gen(param, ctx) for param in params]
+            refs = [ref for _, ref in argument_pairs]
+
+            def ref(env: Env) -> object:
+                value = env[name]
+                for argument_ref in refs:
+                    value = value(argument_ref(env))
+                return value
+
+            return (apply(EVar(name),
+                          *[expr for expr, _ in argument_pairs]), ref)
+        return build
+
+    # -- function-typed targets ------------------------------------------------
+
+    _SECTION_TYPES: Dict[str, SType] = {}
+
+    def _section_candidates(self, target: SType) -> List[str]:
+        if not ProgramGenerator._SECTION_TYPES:
+            table = {
+                "+#": fun(INT_HASH_TY, INT_HASH_TY, INT_HASH_TY),
+                "-#": fun(INT_HASH_TY, INT_HASH_TY, INT_HASH_TY),
+                "*#": fun(INT_HASH_TY, INT_HASH_TY, INT_HASH_TY),
+                "+": fun(INT_TY, INT_TY, INT_TY),
+                "*": fun(INT_TY, INT_TY, INT_TY),
+                "negate": fun(INT_TY, INT_TY),
+                "negateInt#": fun(INT_HASH_TY, INT_HASH_TY),
+                "not": fun(BOOL_TY, BOOL_TY),
+                "I#": fun(INT_HASH_TY, INT_TY),
+            }
+            ProgramGenerator._SECTION_TYPES = table
+        return [name for name, type_
+                in ProgramGenerator._SECTION_TYPES.items()
+                if type_ == target]
+
+    _SECTION_SEMANTICS = {
+        "+#": _curry(lambda a, b: a + b, 2),
+        "-#": _curry(lambda a, b: a - b, 2),
+        "*#": _curry(lambda a, b: a * b, 2),
+        "+": _curry(lambda a, b: a + b, 2),
+        "*": _curry(lambda a, b: a * b, 2),
+        "negate": lambda a: -a,
+        "negateInt#": lambda a: -a,
+        "not": lambda a: not a,
+        "I#": lambda a: a,
+    }
+
+    def _gen_function(self, target: FunTy, ctx: _Ctx) -> Tuple[Expr, RefFn]:
+        leaves: List[Callable] = []
+        for name, type_ in ctx.vars:
+            if type_ == target:
+                leaves.append(self._var_leaf(name))
+        for binding in self._bindings:
+            if binding.type != target:
+                continue
+            if ctx.runnable and not binding.safe:
+                continue
+            if ctx.fragment and not binding.fragment:
+                continue
+            leaves.append(lambda _b=binding:
+                          (EVar(_b.name), lambda env: _b.ref))
+        if not ctx.fragment:
+            for op in self._section_candidates(target):
+                semantics = self._SECTION_SEMANTICS[op]
+                leaves.append(lambda _op=op, _s=semantics:
+                              (EVar(_op), lambda env: _s))
+
+        def lam() -> Tuple[Expr, RefFn]:
+            name = self._fresh("x")
+            annotate = ctx.fragment or ctx.anchored or self.choices.chance(0.6)
+            body_ctx = ctx.deeper().with_var(name, target.argument)
+            body, body_ref = self.gen(target.result, body_ctx)
+            expr = ELam(name, body,
+                        annotation=target.argument if annotate else None)
+            return expr, (lambda env:
+                          lambda value: body_ref({**env, name: value}))
+
+        if ctx.depth <= 0 or not self.choices.chance(0.85):
+            if leaves and self.choices.chance(0.5):
+                return self.choices.pick(leaves)()
+            return lam()
+
+        nodes: List[Callable] = [lam]
+        if not ctx.fragment:
+            def one_shot() -> Tuple[Expr, RefFn]:
+                inner, inner_ref = self.gen(target, ctx.deeper())
+                return EApp(EVar("oneShot"), inner), inner_ref
+            nodes.append(one_shot)
+            if isinstance(target, FunTy) and target.argument in LIFTED_TYPES \
+                    and not isinstance(target.result, FunTy):
+                def compose_section() -> Tuple[Expr, RefFn]:
+                    middle = self.choices.pick(list(LIFTED_TYPES))
+                    outer, outer_ref = self.gen(FunTy(middle, target.result),
+                                                ctx.deeper())
+                    inner, inner_ref = self.gen(FunTy(target.argument,
+                                                      middle), ctx.deeper())
+                    return (apply(EVar("."), outer, inner),
+                            lambda env: (lambda value:
+                                         outer_ref(env)(
+                                             inner_ref(env)(value))))
+                nodes.append(compose_section)
+        else:
+            def fragment_let() -> Tuple[Expr, RefFn]:
+                return self._let_node(target, ctx.deeper())
+            nodes.append(fragment_let)
+        pool = leaves + nodes
+        return self.choices.pick(pool)()
+
+    # -- top-level binding flavors ---------------------------------------------
+
+    def _register(self, name: str, type_: SType, ref: object, safe: bool,
+                  fragment: bool,
+                  hints: Tuple[Optional[str], ...] = ()) -> None:
+        self._bindings.append(
+            _TopBinding(name, type_, ref, safe, fragment, hints))
+
+    def _fn_binding(self, name: str, param_types: List[SType],
+                    result_type: SType, ctx: _Ctx,
+                    signed: bool = True) -> Tuple[List[Decl], SType]:
+        params = [self._fresh("p") for _ in param_types]
+        body_ctx = replace(ctx, vars=tuple(zip(params, param_types)),
+                           depth=self.options.depth,
+                           anchored=not signed)
+        body, body_ref = self.gen(result_type, body_ctx)
+        full_type = fun(*param_types, result_type) if param_types \
+            else result_type
+        decls: List[Decl] = []
+        if signed:
+            decls.append(TypeSig(name, full_type))
+        decls.append(FunBind(name, params, body))
+        if params:
+            ref: object = _curry(
+                lambda *values: body_ref(dict(zip(params, values))),
+                len(params))
+        else:
+            ref = body_ref({})
+        self._register(name, full_type, ref, safe=ctx.runnable,
+                       fragment=ctx.fragment)
+        return decls, full_type
+
+    def _flavor_arith_hash(self, ctx: _Ctx):
+        name = self._fresh("hash")
+        arity = self.choices.int_between(1, 3)
+        return name, self._fn_binding(name, [INT_HASH_TY] * arity,
+                                      INT_HASH_TY, ctx)
+
+    def _flavor_arith_boxed(self, ctx: _Ctx):
+        name = self._fresh("boxed")
+        arity = self.choices.int_between(1, 2)
+        return name, self._fn_binding(name, [INT_TY] * arity, INT_TY, ctx)
+
+    def _flavor_double(self, ctx: _Ctx):
+        name = self._fresh("dbl")
+        return name, self._fn_binding(name, [DOUBLE_HASH_TY],
+                                      DOUBLE_HASH_TY, ctx)
+
+    def _flavor_bool(self, ctx: _Ctx):
+        name = self._fresh("pred")
+        return name, self._fn_binding(name, [INT_TY], BOOL_TY, ctx)
+
+    def _flavor_box(self, ctx: _Ctx):
+        name = self._fresh("box")
+        return name, self._fn_binding(name, [INT_HASH_TY], INT_TY, ctx)
+
+    def _flavor_unbox(self, ctx: _Ctx):
+        name = self._fresh("unbox")
+        return name, self._fn_binding(name, [INT_TY], INT_HASH_TY, ctx)
+
+    def _flavor_pair(self, ctx: _Ctx):
+        name = self._fresh("pair")
+        target = self.choices.pick([PAIR_HASH_TY, MIXED_PAIR_TY])
+        return name, self._fn_binding(name, [INT_HASH_TY], target, ctx)
+
+    def _flavor_higher(self, ctx: _Ctx):
+        name = self._fresh("ho")
+        inner = self.choices.pick([fun(INT_TY, INT_TY),
+                                   fun(INT_HASH_TY, INT_HASH_TY)])
+        result = inner.result
+        return name, self._fn_binding(name, [inner, inner.argument],
+                                      result, ctx)
+
+    def _flavor_string(self, ctx: _Ctx):
+        name = self._fresh("str")
+        return name, self._fn_binding(name, [STRING_TY], STRING_TY, ctx)
+
+    def _flavor_const(self, ctx: _Ctx):
+        """A zero-parameter binding, sometimes *unsigned* (anchored mode)."""
+        name = self._fresh("val")
+        pool = FRAGMENT_TYPES if ctx.fragment else SCALAR_TYPES
+        result = self.choices.pick(list(pool))
+        signed = ctx.fragment or self.choices.chance(0.5)
+        return name, self._fn_binding(name, [], result, ctx, signed=signed)
+
+    def _flavor_loop(self, ctx: _Ctx):
+        """A structurally terminating counted loop (full mode only)."""
+        name = self._fresh("loop")
+        step = self.choices.int_between(1, 5)
+        kind = self.choices.pick(["sum", "sum_scaled", "count"])
+        factor = self.choices.int_between(2, 9)
+        if kind == "sum":
+            update = _binop("+#", EVar("acc"), EVar("n"))
+            advance = lambda acc, n: acc + n
+        elif kind == "sum_scaled":
+            update = _binop("+#", EVar("acc"),
+                            _binop("*#", EVar("n"), ELitIntHash(factor)))
+            advance = lambda acc, n: acc + n * factor
+        else:
+            update = _binop("+#", EVar("acc"), ELitIntHash(1))
+            advance = lambda acc, n: acc + 1
+        body = ECase(
+            _binop("<=#", EVar("n"), ELitIntHash(0)),
+            [Alternative("1#", [],  EVar("acc")),
+             Alternative("_", [],
+                         apply(EVar(name), update,
+                               _binop("-#", EVar("n"), ELitIntHash(step))))])
+        full_type = fun(INT_HASH_TY, INT_HASH_TY, INT_HASH_TY)
+
+        def run(acc: int, n: int) -> int:
+            while n > 0:
+                acc = advance(acc, n)
+                n -= step
+            return acc
+
+        decls = [TypeSig(name, full_type),
+                 FunBind(name, ["acc", "n"], body)]
+        self._register(name, full_type, _curry(run, 2), safe=True,
+                       fragment=False, hints=(None, "small"))
+        return name, (decls, full_type)
+
+    def _flavor_levity(self, ctx: _Ctx):
+        """An error-like levity-polymorphic binding (never called live)."""
+        name = self._fresh("err")
+        parameter = self._fresh("msg")
+        variant = self.choices.pick(["error", "errorWithoutStackTrace",
+                                     "append", "dollar"])
+        if variant == "append":
+            rhs: Expr = EApp(EVar("error"),
+                             apply(EVar("appendString"), EVar(parameter),
+                                   ELitString("!")))
+        elif variant == "dollar":
+            rhs = _binop("$", EVar("error"), EVar(parameter))
+        else:
+            rhs = EApp(EVar(variant), EVar(parameter))
+        decls = [TypeSig(name, LEVITY_POLY_SIG),
+                 FunBind(name, [parameter], rhs)]
+        self._register(name, LEVITY_POLY_SIG, _dead, safe=False,
+                       fragment=False)
+        return name, (decls, LEVITY_POLY_SIG)
+
+    def _flavor_deadcode(self, ctx: _Ctx):
+        """A binding main never calls; ⊥ may appear anywhere inside it."""
+        name = self._fresh("unsafe")
+        result = self.choices.pick(list(SCALAR_TYPES))
+        dead_ctx = replace(ctx, runnable=False)
+        return name, self._fn_binding(name, [INT_TY], result, dead_ctx)
+
+    # -- whole programs ---------------------------------------------------------
+
+    _FULL_FLAVORS = ("arith_hash", "arith_boxed", "double", "bool", "box",
+                     "unbox", "pair", "higher", "string", "const", "loop",
+                     "levity", "deadcode")
+    _FRAGMENT_FLAVORS = ("frag_fn", "frag_const")
+
+    def _helper_binding(self, flavor: str, ctx: _Ctx):
+        if flavor == "arith_hash":
+            return self._flavor_arith_hash(ctx)
+        if flavor == "arith_boxed":
+            return self._flavor_arith_boxed(ctx)
+        if flavor == "double":
+            return self._flavor_double(ctx)
+        if flavor == "bool":
+            return self._flavor_bool(ctx)
+        if flavor == "box":
+            return self._flavor_box(ctx)
+        if flavor == "unbox":
+            return self._flavor_unbox(ctx)
+        if flavor == "pair":
+            return self._flavor_pair(ctx)
+        if flavor == "higher":
+            return self._flavor_higher(ctx)
+        if flavor == "string":
+            return self._flavor_string(ctx)
+        if flavor == "loop":
+            return self._flavor_loop(ctx)
+        if flavor == "levity":
+            return self._flavor_levity(ctx)
+        if flavor == "deadcode":
+            return self._flavor_deadcode(ctx)
+        if flavor == "frag_fn":
+            name = self._fresh("fn")
+            arity = self.choices.int_between(1, 2)
+            types = [self.choices.pick(list(FRAGMENT_TYPES))
+                     for _ in range(arity)]
+            result = self.choices.pick(list(FRAGMENT_TYPES))
+            return name, self._fn_binding(name, types, result, ctx)
+        return self._flavor_const(ctx)
+
+    def program(self, index: int,
+                filename: Optional[str] = None) -> GenProgram:
+        """Generate one complete program."""
+        self._counter = 0
+        self._bindings = []
+        fragment = self.choices.chance(self.options.fragment_bias)
+        base_ctx = _Ctx(depth=self.options.depth, fragment=fragment)
+
+        decls: List[Decl] = []
+        intended: Dict[str, SType] = {}
+        unsigned: List[str] = []
+        flavors: List[str] = []
+        helper_count = self.choices.int_between(1, self.options.max_bindings)
+        flavor_pool = self._FRAGMENT_FLAVORS if fragment \
+            else self._FULL_FLAVORS
+        for _ in range(helper_count):
+            flavor = self.choices.pick(list(flavor_pool))
+            flavors.append(flavor)
+            name, (binding_decls, full_type) = self._helper_binding(
+                flavor, base_ctx)
+            decls.extend(binding_decls)
+            intended[name] = full_type
+            if not any(isinstance(decl, TypeSig) and decl.name == name
+                       for decl in binding_decls):
+                unsigned.append(name)
+
+        main_type = self._main_type(fragment)
+        main_ctx = replace(base_ctx, depth=self.options.depth)
+        body, body_ref = self.gen(main_type, main_ctx)
+        decls.append(TypeSig("main", main_type))
+        decls.append(FunBind("main", [], body))
+        intended["main"] = main_type
+
+        if isinstance(main_type, FunTy):
+            expected: Optional[str] = None
+        else:
+            try:
+                expected = render_value(main_type, body_ref({}))
+            except GeneratorError:
+                raise
+            except Exception as exc:  # pragma: no cover - generator bug
+                raise GeneratorError(
+                    f"reference semantics crashed: {exc!r}") from exc
+
+        module = Module("Main", decls)
+        name = filename or f"fuzz_{index:05d}.lev"
+        lines = [f"-- generated by repro.fuzz (program {index})"]
+        lines.extend(decl.pretty() for decl in decls)
+        source = "\n".join(lines) + "\n"
+        return GenProgram(
+            filename=name, source=source, module=module, intended=intended,
+            unsigned=frozenset(unsigned), fragment=fragment,
+            main_type=main_type, expected_value=expected,
+            flavors=tuple(flavors))
+
+    def _main_type(self, fragment: bool) -> SType:
+        if fragment:
+            if self.choices.chance(0.15):
+                argument = self.choices.pick(list(FRAGMENT_TYPES))
+                result = self.choices.pick(list(FRAGMENT_TYPES))
+                return FunTy(argument, result)
+            return self.choices.pick(list(FRAGMENT_TYPES))
+        roll = self.choices.int_between(0, 99)
+        if roll < 30:
+            return INT_HASH_TY
+        if roll < 55:
+            return INT_TY
+        if roll < 65:
+            return DOUBLE_HASH_TY
+        if roll < 75:
+            return BOOL_TY
+        if roll < 85:
+            return self.choices.pick([PAIR_HASH_TY, MIXED_PAIR_TY])
+        if roll < 90:
+            return MAYBE_INT_TY
+        if roll < 95:
+            return STRING_TY
+        argument = self.choices.pick(list(SCALAR_TYPES))
+        result = self.choices.pick(list(SCALAR_TYPES))
+        return FunTy(argument, result)
+
+
+# ---------------------------------------------------------------------------
+# Seeded entry points
+# ---------------------------------------------------------------------------
+
+
+def generate_program(seed: int, index: int,
+                     options: Optional[GenOptions] = None,
+                     prefix: str = "fuzz") -> GenProgram:
+    """Deterministically generate program ``index`` of corpus ``seed``."""
+    rng = random.Random(f"repro-fuzz:{seed}:{index}")
+    generator = ProgramGenerator(Choices(rng), options)
+    return generator.program(index, filename=f"{prefix}_{index:05d}.lev")
+
+
+def generate_corpus(seed: int, count: int,
+                    options: Optional[GenOptions] = None,
+                    prefix: str = "fuzz") -> List[GenProgram]:
+    """A reproducible corpus: program ``i`` depends only on ``(seed, i)``."""
+    return [generate_program(seed, index, options, prefix)
+            for index in range(count)]

@@ -322,6 +322,24 @@ class Inferencer:
         if constructor.endswith("#") and constructor[:-1].lstrip("-").isdigit():
             self.state.unify_types(scrutinee_type, INT_HASH_TY)
             return env, []
+        if constructor == "(#,#)":
+            # An unboxed-tuple pattern (# x1, ..., xn #): the pseudo
+            # constructor has no scheme (it is representation-polymorphic in
+            # every field); unify the scrutinee with a tuple of fresh
+            # unification variables instead.  Found by corpus fuzzing: the
+            # pattern parsed and evaluated, but never inferred.
+            field_types = [self.state.fresh_type_uvar()
+                           for _ in alternative.binders]
+            self.state.unify_types(scrutinee_type,
+                                   UnboxedTupleTy(field_types))
+            alt_env = env
+            for binder, field_type in zip(alternative.binders, field_types):
+                self.record_binder(
+                    field_type,
+                    f"pattern binder {binder!r} of an unboxed tuple")
+                alt_env = alt_env.bind(binder,
+                                       Scheme.monomorphic(field_type))
+            return alt_env, []
         scheme = env.lookup(constructor)
         if scheme is None:
             raise ScopeError(

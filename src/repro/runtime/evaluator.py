@@ -21,7 +21,6 @@ Class methods are supported in two forms:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -112,13 +111,32 @@ def _as_double(value: Value) -> float:
     raise EvaluationError(f"expected an unboxed double, got {value!r}")
 
 
+def _exact_quot(a: int, b: int) -> int:
+    """Truncate-towards-zero division on exact integers, total at b == 0.
+
+    The previous ``int(a / b)`` detoured through a 53-bit float: corpus
+    fuzzing found 15+-digit operands where the quotient came back wrong
+    (pinned in tests/golden/fuzz/quot_precision.lev).
+    """
+    if b == 0:
+        return 0
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+def _exact_rem(a: int, b: int) -> int:
+    if b == 0:
+        return 0
+    return a - b * _exact_quot(a, b)
+
+
 #: name -> (arity, implementation on raw values)
 PRIMOP_TABLE: Dict[str, Tuple[int, Callable[..., Value]]] = {
     "+#": (2, _int_binop(lambda a, b: a + b)),
     "-#": (2, _int_binop(lambda a, b: a - b)),
     "*#": (2, _int_binop(lambda a, b: a * b)),
-    "quotInt#": (2, _int_binop(lambda a, b: int(a / b) if b else 0)),
-    "remInt#": (2, _int_binop(lambda a, b: int(math.fmod(a, b)) if b else 0)),
+    "quotInt#": (2, _int_binop(_exact_quot)),
+    "remInt#": (2, _int_binop(_exact_rem)),
     "negateInt#": (1, lambda x: UnboxedInt(-_as_int(x))),
     "<#": (2, _int_cmp(lambda a, b: a < b)),
     ">#": (2, _int_cmp(lambda a, b: a > b)),
@@ -386,10 +404,17 @@ class Evaluator:
             closure = Closure("", (expr.var,), (False,), expr.body, dict(env))
             return self.heap.allocate(closure)
         if isinstance(expr, ELet):
-            rhs_thunk = self.heap.allocate(
-                Thunk(lambda: self._eval(expr.rhs, env)))
             inner = dict(env)
-            inner[expr.var] = rhs_thunk
+            if expr.signature is not None and _is_strict_type(expr.signature):
+                # Kinds are calling conventions for lets too: a binder at an
+                # unboxed (or unlifted) type cannot be a thunk — Figure 7
+                # compiles it to a strict let!, so the evaluator must force
+                # the rhs eagerly (found by corpus fuzzing, pinned in
+                # tests/golden/fuzz/strict_unboxed_let.lev).
+                inner[expr.var] = self.force(self._eval(expr.rhs, env))
+            else:
+                inner[expr.var] = self.heap.allocate(
+                    Thunk(lambda: self._eval(expr.rhs, env)))
             return self._eval(expr.body, inner)
         if isinstance(expr, EIf):
             condition = self.bool_result(self._eval(expr.condition, env))
@@ -437,6 +462,9 @@ class Evaluator:
             # Boxed helpers (plusInt & co.) are top-level code: their outer
             # closure is static, exactly like a compiled definition.
             value = self._eval(_BOXED_HELPERS[name], {})
+        elif name == "appendString":
+            value = self.heap.allocate(
+                PrimOpValue("appendString", 2, _append_strings), static=True)
         elif name in ("error", "errorWithoutStackTrace"):
             # The levity-polymorphic error of Section 8.1: one strict String
             # argument, then ⊥ at any representation.
@@ -660,6 +688,15 @@ _BOXED_HELPERS: Dict[str, Expr] = {
     "not": ELam("b", ECase(EVar("b"),
                            [Alternative("True", [], EVar("False")),
                             Alternative("False", [], EVar("True"))])),
+    # Lazy in the second operand, exactly like the Report's definitions —
+    # these type-checked but were unbound at runtime until corpus fuzzing
+    # flushed them out.
+    "&&": ELam("a", ELam("b", ECase(
+        EVar("a"), [Alternative("True", [], EVar("b")),
+                    Alternative("False", [], EVar("False"))]))),
+    "||": ELam("a", ELam("b", ECase(
+        EVar("a"), [Alternative("True", [], EVar("True")),
+                    Alternative("False", [], EVar("b"))]))),
     # The levity-generalised functions of Section 8.1 whose definitions are
     # representation-irrelevant: after type erasure ($) really is just
     # application and (.) really is composition, whatever the result rep.
@@ -669,6 +706,12 @@ _BOXED_HELPERS: Dict[str, Expr] = {
     "oneShot": ELam("f", EVar("f")),
     "runRW#": ELam("f", EApp(EVar("f"), EUnboxedTuple(()))),
 }
+
+
+def _append_strings(x: Value, y: Value) -> Value:
+    if not isinstance(x, StringValue) or not isinstance(y, StringValue):
+        raise EvaluationError("appendString expects two String arguments")
+    return StringValue(x.value + y.value)
 
 
 def _raise_error(name: str) -> Callable[..., Value]:

@@ -49,7 +49,17 @@ class EVar(Expr):
     def free_vars(self) -> FrozenSet[str]:
         return frozenset({self.name})
 
+    def is_symbolic(self) -> bool:
+        """Is this an operator name that must print in section form?"""
+        return not (self.name[0].isalpha() or self.name[0] in "_(")
+
     def pretty(self) -> str:
+        # A symbolic operator prints as its section `(+#)` so the output
+        # re-parses in *every* position (binding rhs, let rhs, case rhs,
+        # tuple component, ...), not just the application positions the
+        # parser's operator table can recover.
+        if self.is_symbolic():
+            return f"({self.name})"
         return self.name
 
 
@@ -92,6 +102,10 @@ class ELitDoubleHash(Expr):
         return f"{self.value}##"
 
 
+_STRING_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n", "\t": "\\t",
+                   "\r": "\\r", "\0": "\\0"}
+
+
 @dataclass(frozen=True)
 class ELitString(Expr):
     """A string literal (type ``String``)."""
@@ -102,7 +116,10 @@ class ELitString(Expr):
         return frozenset()
 
     def pretty(self) -> str:
-        return repr(self.value)
+        # Double-quoted with the lexer's escapes: Python's repr prefers
+        # single quotes, which the lexer reads as a character literal.
+        body = "".join(_STRING_ESCAPES.get(ch, ch) for ch in self.value)
+        return f'"{body}"'
 
 
 @dataclass(frozen=True)
@@ -142,26 +159,21 @@ class EApp(Expr):
         return self.function.free_vars() | self.argument.free_vars()
 
     def pretty(self) -> str:
+        # Symbolic operators (`+#`, `-`, `$`) already render in section form
+        # via EVar.pretty, so function position needs no extra wrapping for
+        # them; `case` joins the other special forms because `f case x of
+        # {...}` does not re-parse (case is not an aexp).
         fun = self.function.pretty()
-        if isinstance(self.function, (ELam, ELet, EIf)):
-            fun = f"({fun})"
-        elif isinstance(self.function, EVar) \
-                and not (self.function.name[0].isalpha()
-                         or self.function.name[0] in "_("):
-            # A symbolic operator in function position prints in section
-            # form so the output re-parses: bare `- x 1` would re-parse as
-            # the negation `negate (x 1)`, and bare `+# x y` not at all.
+        if isinstance(self.function, (ELam, ELet, EIf, ECase)) \
+                or fun.startswith("-"):
+            # A leading minus in function position would re-parse as a
+            # prefix negation of the whole application.
             fun = f"({fun})"
         arg = self.argument.pretty()
-        if isinstance(self.argument, (EApp, ELam, ELet, EIf)) \
-                or arg.startswith("-") \
-                or (isinstance(self.argument, EVar)
-                    and not (self.argument.name[0].isalpha()
-                             or self.argument.name[0] in "_(")):
-            # Negative literals must keep their parens (`f -1` would
-            # re-parse as the infix subtraction `f - 1`), and a symbolic
-            # operator passed as an argument needs its section form
-            # (`f +#` does not re-parse; `f (+#)` does).
+        if isinstance(self.argument, (EApp, ELam, ELet, EIf, ECase)) \
+                or arg.startswith("-"):
+            # Negative literals must keep their parens: `f -1` would
+            # re-parse as the infix subtraction `f - 1`.
             arg = f"({arg})"
         return f"{fun} {arg}"
 
@@ -233,7 +245,12 @@ class EAnn(Expr):
         return self.expr.free_vars()
 
     def pretty(self) -> str:
-        return f"({self.expr.pretty()} :: {self.type.pretty()})"
+        inner = self.expr.pretty()
+        if isinstance(self.expr, (ELam, ELet, EIf)):
+            # These forms extend maximally, so `let ... in b :: t` would
+            # re-parse with the annotation attached to the *body*.
+            inner = f"({inner})"
+        return f"({inner} :: {self.type.pretty()})"
 
 
 @dataclass(frozen=True)
@@ -299,8 +316,11 @@ class Alternative:
         object.__setattr__(self, "rhs", rhs)
 
     def pretty(self) -> str:
-        binders = " ".join(self.binders)
-        pattern = f"{self.constructor} {binders}".strip()
+        if self.constructor == "(#,#)":
+            pattern = f"(# {', '.join(self.binders)} #)"
+        else:
+            binders = " ".join(self.binders)
+            pattern = f"{self.constructor} {binders}".strip()
         return f"{pattern} -> {self.rhs.pretty()}"
 
 

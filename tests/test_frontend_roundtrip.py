@@ -10,6 +10,13 @@ Satellites of the frontend PR:
   order, so the comparison canonicalises binder names first;
 * lexer/parser fuzzing: arbitrary input either parses or raises
   :class:`~repro.core.errors.ParseError` — never anything else.
+
+Extended by the fuzzing PR with **expression-level** round-trips
+(``parse_expr(expr.pretty()) == expr``) over the whole expression grammar,
+covering the gaps PR 3's unary-minus work left open: negative literals in
+case patterns, and symbolic operators (sections) in *every* position —
+binding rhs, let rhs, case alternatives, tuple components — not just the
+application spots the operator table can recover.
 """
 
 import string as string_module
@@ -21,12 +28,29 @@ from hypothesis import strategies as st
 from repro.core.errors import ParseError
 from repro.core.kinds import TYPE_LIFTED, TypeKind
 from repro.core.rep import RepVar
-from repro.frontend import parse_module, parse_scheme, parse_type
+from repro.frontend import parse_expr, parse_module, parse_scheme, parse_type
 from repro.infer.schemes import Scheme
 from repro.pretty.printer import (
     PrinterOptions,
     default_reps_for_display,
     render_scheme,
+)
+from repro.surface.ast import (
+    Alternative,
+    EAnn,
+    EApp,
+    EBool,
+    ECase,
+    EIf,
+    ELam,
+    ELet,
+    ELitChar,
+    ELitDoubleHash,
+    ELitInt,
+    ELitIntHash,
+    ELitString,
+    EUnboxedTuple,
+    EVar,
 )
 from repro.surface.prelude import prelude_schemes
 from repro.surface.types import (
@@ -219,6 +243,134 @@ class TestDefaultDisplayRoundTrip:
         rendered = render_scheme(scheme)
         assert "forall" in rendered
         assert parse_scheme(rendered) == scheme
+
+
+# ---------------------------------------------------------------------------
+# Expression round-trips (negative patterns, operator sections, ...)
+# ---------------------------------------------------------------------------
+
+
+#: Symbolic operators whose sections must survive printing anywhere.
+_SECTION_NAMES = ("+#", "-#", "*#", "+", "-", "*", "$", ".", "<=#", "&&")
+_CONCRETE_TYPES = (INT_TY, INT_HASH_TY, DOUBLE_HASH_TY, BOOL_TY, STRING_TY,
+                   UnboxedTupleTy((INT_HASH_TY, INT_HASH_TY)))
+
+_varid = st.sampled_from(("x", "y", "f", "g", "acc", "n1"))
+_conid_head = st.sampled_from(("I#", "Just", "D#"))
+
+
+@st.composite
+def _alternatives(draw, rhs_strategy):
+    kind = draw(st.sampled_from(
+        ("wildcard", "int", "inthash", "negative_int", "negative_inthash",
+         "constructor", "tuple")))
+    rhs = draw(rhs_strategy)
+    if kind == "wildcard":
+        return Alternative("_", (), rhs)
+    if kind == "int":
+        return Alternative(str(draw(st.integers(0, 99))), (), rhs)
+    if kind == "inthash":
+        return Alternative(f"{draw(st.integers(0, 99))}#", (), rhs)
+    if kind == "negative_int":
+        return Alternative(str(-draw(st.integers(1, 99))), (), rhs)
+    if kind == "negative_inthash":
+        return Alternative(f"{-draw(st.integers(1, 99))}#", (), rhs)
+    if kind == "tuple":
+        binders = draw(st.lists(_varid, min_size=0, max_size=3,
+                                unique=True))
+        return Alternative("(#,#)", binders, rhs)
+    constructor = draw(_conid_head)
+    binders = draw(st.lists(_varid, min_size=0, max_size=2, unique=True))
+    return Alternative(constructor, binders, rhs)
+
+
+@st.composite
+def expressions(draw):
+    """Arbitrary (syntactic) surface expressions, sections included."""
+    leaf = st.one_of(
+        _varid.map(EVar),
+        st.sampled_from(_SECTION_NAMES).map(EVar),
+        st.integers(-200, 200).map(ELitInt),
+        st.integers(-200, 200).map(ELitIntHash),
+        st.integers(-64, 64).map(lambda n: ELitDoubleHash(n / 8.0)),
+        st.booleans().map(EBool),
+        st.sampled_from(('hi', 'a"b', 'tab\t', 'nl\n', 'back\\slash'))
+        .map(ELitString),
+        st.sampled_from("abz").map(ELitChar),
+        st.just(EUnboxedTuple(())),
+    )
+
+    def compound(children):
+        concrete = st.sampled_from(_CONCRETE_TYPES)
+        return st.one_of(
+            st.tuples(children, children).map(lambda p: EApp(*p)),
+            st.tuples(_varid, children, st.none() | concrete)
+            .map(lambda t: ELam(t[0], t[1], t[2])),
+            st.tuples(_varid, children, children, st.none() | concrete)
+            .map(lambda t: ELet(t[0], t[1], t[2], t[3])),
+            st.tuples(children, children, children)
+            .map(lambda t: EIf(*t)),
+            st.tuples(children, concrete).map(lambda t: EAnn(*t)),
+            st.lists(children, min_size=1, max_size=3).map(EUnboxedTuple),
+            st.tuples(children,
+                      st.lists(_alternatives(children), min_size=1,
+                               max_size=3))
+            .map(lambda t: ECase(t[0], t[1])),
+        )
+
+    return draw(st.recursive(leaf, compound, max_leaves=10))
+
+
+class TestExpressionRoundTrip:
+    @given(expressions())
+    @settings(max_examples=300, deadline=None)
+    def test_parse_pretty_is_identity(self, expr):
+        assert parse_expr(expr.pretty()) == expr
+
+    @given(expressions())
+    @settings(max_examples=150, deadline=None)
+    def test_binding_rhs_round_trips_through_a_module(self, expr):
+        source = f"f = {expr.pretty()}\n"
+        parsed = parse_module(source)
+        assert parsed.module.bindings()["f"].rhs == expr
+
+    def test_negative_literal_patterns(self):
+        expr = ECase(EVar("x"), [
+            Alternative("-1#", (), ELitIntHash(1)),
+            Alternative("-42", (), ELitIntHash(2)),
+            Alternative("_", (), ELitIntHash(3)),
+        ])
+        assert parse_expr(expr.pretty()) == expr
+
+    @pytest.mark.parametrize("name", _SECTION_NAMES)
+    def test_sections_round_trip_in_every_position(self, name):
+        section = EVar(name)
+        positions = [
+            section,                                   # bare rhs
+            ELet("f", section, EApp(EVar("f"), ELitInt(1))),  # let rhs
+            ECase(EVar("x"), [Alternative("_", (), section)]),  # case rhs
+            EUnboxedTuple((section,)),                 # tuple component
+            EApp(section, ELitInt(1)),                 # function position
+            EApp(EVar("f"), section),                  # argument position
+        ]
+        for expr in positions:
+            assert parse_expr(expr.pretty()) == expr, expr.pretty()
+
+    def test_string_literals_are_double_quoted(self):
+        rendered = ELitString("it's \"quoted\"\n").pretty()
+        assert rendered.startswith('"')
+        assert parse_expr(rendered) == ELitString("it's \"quoted\"\n")
+
+    def test_case_parenthesised_in_application(self):
+        expr = EApp(EVar("f"),
+                    ECase(EVar("x"), [Alternative("_", (), EVar("y"))]))
+        rendered = expr.pretty()
+        assert "(case" in rendered
+        assert parse_expr(rendered) == expr
+
+    def test_annotated_let_keeps_its_grouping(self):
+        expr = EAnn(ELet("v", ELitInt(1), EVar("v"), INT_TY), INT_TY)
+        assert parse_expr(expr.pretty()) == expr
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,93 @@
+"""The differential harness at scale: fixed seeds, zero disagreements.
+
+The acceptance bar for the fuzzing PR: **1000+ generated programs** run
+through the full differential harness (type-check + intended types,
+parse∘pretty round-trip, evaluator execution, reference-semantics values,
+and the evaluator↔M-machine cross-check on the compilable fragment) with
+zero unexplained failures, on fixed seeds so the corpus is reproducible.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.fuzz import (
+    DifferentialHarness,
+    GenOptions,
+    generate_corpus,
+    generated_programs,
+    shrink_counterexample,
+)
+from repro.fuzz.generator import INT_HASH_TY
+
+#: Fixed corpus seed — bump deliberately, never implicitly.
+CORPUS_SEED = 20260731
+CORPUS_SIZE = 1050
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return DifferentialHarness()
+
+
+class TestFixedSeedCorpus:
+    def test_1000_plus_programs_zero_disagreements(self, harness):
+        corpus = generate_corpus(CORPUS_SEED, CORPUS_SIZE)
+        report = harness.run_corpus(corpus)
+        assert report.programs == CORPUS_SIZE
+        assert report.ok, report.pretty(max_failures=3)
+        # The oracles must actually engage, not silently skip:
+        assert report.counters["fragment_programs"] >= CORPUS_SIZE // 10
+        assert report.counters["machine_checked"] >= CORPUS_SIZE // 10
+        assert report.counters["reference_checked"] >= CORPUS_SIZE // 2
+        assert report.counters["unsigned_bindings"] >= 10
+
+    def test_deeper_corpus_smoke(self, harness):
+        corpus = generate_corpus(CORPUS_SEED + 1, 60,
+                                 GenOptions(depth=6, max_bindings=5))
+        report = harness.run_corpus(corpus)
+        assert report.ok, report.pretty(max_failures=3)
+
+
+class TestShardedAndCachedChecking:
+    """The harness rides the sharded batch checker (jobs= / cache=)."""
+
+    def test_jobs_and_cache_agree_with_serial(self, harness, tmp_path):
+        corpus = generate_corpus(7, 40)
+        serial = harness.run_corpus(corpus)
+        cache_path = str(tmp_path / "fuzz-cache.json")
+        sharded = DifferentialHarness().run_corpus(corpus, jobs=2,
+                                                   cache=cache_path)
+        assert serial.ok and sharded.ok
+        assert serial.counters == sharded.counters
+        # Warm re-run: every type-check answered from the cache.
+        warm = DifferentialHarness().run_corpus(corpus, cache=cache_path)
+        assert warm.ok and warm.counters == serial.counters
+
+
+class TestHypothesisIntegration:
+    @given(generated_programs())
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large,
+                                     HealthCheck.filter_too_much])
+    def test_every_drawn_program_passes_all_oracles(self, program):
+        failures = DifferentialHarness().check_program(program)
+        assert not failures, failures[0].pretty() + "\n" + program.source
+
+    def test_shrinking_finds_a_minimal_example(self):
+        # A synthetic "failure" predicate: hypothesis must both find a
+        # matching program and shrink it down — this keeps the
+        # counterexample-minimisation path exercised even while the real
+        # oracles stay green.
+        predicate = (lambda program:
+                     program.fragment and program.main_type == INT_HASH_TY)
+        shrunk = shrink_counterexample(
+            predicate, GenOptions(depth=2, max_bindings=2,
+                                  fragment_bias=1.0),
+            max_examples=120)
+        assert shrunk is not None
+        assert predicate(shrunk)
+        # Shrinking is heuristic, but it must stay within the generator's
+        # structural bounds and produce a modest reproducer.
+        assert len(shrunk.module.bindings()) <= 3
+        assert len(shrunk.source) < 4000

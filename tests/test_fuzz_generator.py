@@ -1,0 +1,117 @@
+"""Unit tests for the type-directed program generator (repro.fuzz)."""
+
+import pytest
+
+from repro.frontend import parse_module
+from repro.fuzz import GenOptions, generate_corpus, generate_program
+from repro.fuzz.generator import (
+    MAYBE_INT_TY,
+    PAIR_HASH_TY,
+    render_value,
+)
+from repro.surface.types import (
+    BOOL_TY,
+    DOUBLE_HASH_TY,
+    FunTy,
+    INT_HASH_TY,
+    INT_TY,
+    STRING_TY,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        first = generate_program(123, 7)
+        second = generate_program(123, 7)
+        assert first.source == second.source
+        assert first.expected_value == second.expected_value
+        assert first.intended == second.intended
+
+    def test_programs_indexed_independently(self):
+        # Program i depends only on (seed, i): generating a prefix of the
+        # corpus or the whole corpus yields the same programs.
+        corpus = generate_corpus(9, 5)
+        assert corpus[3].source == generate_program(9, 3).source
+
+    def test_different_seeds_differ(self):
+        assert generate_program(1, 0).source != generate_program(2, 0).source
+
+
+class TestCorpusShape:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_corpus(42, 150)
+
+    def test_every_program_parses(self, corpus):
+        for program in corpus:
+            parsed = parse_module(program.source, program.filename)
+            assert parsed.module == program.module
+
+    def test_main_is_always_present_and_nullary(self, corpus):
+        for program in corpus:
+            main = program.module.bindings()["main"]
+            assert main.params == ()
+            assert "main" in program.intended
+
+    def test_fragment_share(self, corpus):
+        fragment = sum(1 for p in corpus if p.fragment)
+        assert 0 < fragment < len(corpus)
+
+    def test_flavor_coverage(self, corpus):
+        seen = {flavor for program in corpus for flavor in program.flavors}
+        # The paper's whole vocabulary should appear across 150 programs.
+        assert {"loop", "levity", "pair", "higher", "unbox"} <= seen
+
+    def test_levity_polymorphism_is_always_declared(self, corpus):
+        # "Never infer levity polymorphism": rep-polymorphic bindings carry
+        # explicit signatures, so no unsigned binding may mention Rep.
+        for program in corpus:
+            signatures = program.module.signatures()
+            for name in program.unsigned:
+                assert name not in signatures
+
+    def test_expected_value_absent_only_for_function_mains(self, corpus):
+        for program in corpus:
+            if isinstance(program.main_type, FunTy):
+                assert program.expected_value is None
+            else:
+                assert program.expected_value is not None
+
+    def test_surface_vocabulary_coverage(self, corpus):
+        text = "\n".join(program.source for program in corpus)
+        for token in ("($)", "oneShot", "(.)", "runRW#", "(# ",
+                      "forall (r :: Rep)", "case", "let", "if "):
+            assert token in text, f"{token!r} never generated"
+
+
+class TestOptions:
+    def test_fragment_bias_one_forces_fragment(self):
+        corpus = generate_corpus(5, 20, GenOptions(fragment_bias=1.0))
+        assert all(program.fragment for program in corpus)
+
+    def test_fragment_bias_zero_disables_fragment_mode(self):
+        corpus = generate_corpus(5, 20, GenOptions(fragment_bias=0.0))
+        assert not any(program.fragment for program in corpus)
+
+    def test_depth_bounds_program_size(self):
+        shallow = generate_corpus(1, 30, GenOptions(depth=1))
+        deep = generate_corpus(1, 30, GenOptions(depth=6))
+        assert sum(len(p.source) for p in shallow) < \
+            sum(len(p.source) for p in deep)
+
+
+class TestRenderValue:
+    @pytest.mark.parametrize("type_,value,expected", [
+        (INT_HASH_TY, -3, "-3#"),
+        (INT_TY, 7, "(I# 7#)"),
+        (DOUBLE_HASH_TY, 2.5, "2.5##"),
+        (BOOL_TY, True, "True"),
+        (BOOL_TY, False, "False"),
+        (STRING_TY, "hi", "'hi'"),
+        (MAYBE_INT_TY, None, "Nothing"),
+        (MAYBE_INT_TY, 4, "(Just (I# 4#))"),
+        (PAIR_HASH_TY, (1, -2), "(# 1#, -2# #)"),
+        (FunTy(INT_TY, INT_TY), None, None),
+    ])
+    def test_rendering_matches_evaluator_show(self, type_, value, expected):
+        assert render_value(type_, value) == expected

@@ -1,0 +1,186 @@
+"""Every way out of the compilable L fragment gets a structured diagnostic.
+
+``repro.driver.lower`` is deliberately partial — the Section 5.1
+restrictions make the fragment compilable, and everything outside it must
+be *reported*, not crashed on.  Two layers are pinned here:
+
+* the raw :class:`~repro.driver.lower.LoweringError` (a
+  :class:`~repro.core.errors.CompilationError`) with a message naming the
+  offending construct, for every unsupported construct;
+* the driver surface: ``Session.compile`` turns the error into a
+  ``compile``-stage *error* diagnostic carrying the binding's span, while
+  ``Session.run`` degrades to a ``compile``-stage *note* (the program still
+  runs on the evaluator; it just skips the machine cross-check).
+"""
+
+import pytest
+
+from repro.core.errors import CompilationError
+from repro.driver import Session
+from repro.driver.lower import LoweringError, lower_entry, lower_type
+from repro.frontend import parse_module
+from repro.infer import infer_module
+from repro.surface.types import (
+    BOOL_TY,
+    DOUBLE_HASH_TY,
+    STRING_TY,
+    UnboxedTupleTy,
+)
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session()
+
+
+def _lowering_error(source, entry="main"):
+    parsed = parse_module(source)
+    result = infer_module(parsed.module)
+    with pytest.raises(LoweringError) as exc_info:
+        lower_entry(parsed.module, result.schemes, entry)
+    return str(exc_info.value)
+
+
+class TestLoweringErrorMessages:
+    """The raw errors name the construct that left the fragment."""
+
+    def test_recursion(self):
+        message = _lowering_error(
+            "main :: Int#\nmain = main\n")
+        assert "recursive" in message
+        assert "no fixpoint" in message
+
+    def test_recursive_helper_called_by_entry(self):
+        # The helper is skipped (outside the fragment), so the entry's
+        # reference to it is the variable error, not a crash.
+        message = _lowering_error(
+            "loop :: Int# -> Int#\n"
+            "loop n = loop n\n"
+            "main :: Int#\n"
+            "main = loop 1#\n")
+        assert "'loop'" in message
+
+    def test_primop(self):
+        message = _lowering_error(
+            "main :: Int#\nmain = 1# +# 2#\n")
+        assert "outside the L fragment" in message
+
+    def test_levity_polymorphic_scheme(self):
+        message = _lowering_error(
+            "main :: forall (r :: Rep) (a :: TYPE r). String -> a\n"
+            "main s = error s\n")
+        assert "polymorphic" in message
+
+    def test_implicitly_quantified_scheme(self):
+        message = _lowering_error(
+            "main :: a -> Int#\nmain x = 3#\n")
+        assert "polymorphic" in message
+
+    def test_unannotated_lambda(self):
+        message = _lowering_error(
+            "main :: Int# -> Int#\nmain = \\x -> x\n")
+        assert "needs a type annotation" in message
+
+    def test_unannotated_let(self):
+        message = _lowering_error(
+            "main :: Int#\nmain = let x = 1# in x\n")
+        assert "needs a type signature" in message
+
+    def test_non_unboxing_case(self):
+        message = _lowering_error(
+            "main :: Int#\nmain = case 1# of { 1# -> 2#; _ -> 3# }\n")
+        assert "I# x -> rhs" in message
+
+    def test_if_expression(self):
+        message = _lowering_error(
+            "main :: Int#\nmain = if True then 1# else 2#\n")
+        assert "outside the L fragment" in message
+
+    def test_free_variable(self):
+        # `negate` is prelude, not a fragment binding.
+        message = _lowering_error(
+            "main :: Int\nmain = negate 3\n")
+        assert "'negate'" in message
+
+    def test_missing_entry(self):
+        message = _lowering_error(
+            "helper :: Int#\nhelper = 1#\n", entry="main")
+        assert "no binding named 'main'" in message
+
+    @pytest.mark.parametrize("bad_type", [
+        DOUBLE_HASH_TY, BOOL_TY, STRING_TY,
+        UnboxedTupleTy((DOUBLE_HASH_TY,)),
+    ])
+    def test_types_outside_the_fragment(self, bad_type):
+        with pytest.raises(LoweringError) as exc_info:
+            lower_type(bad_type)
+        assert "outside the L fragment" in str(exc_info.value)
+
+    def test_lowering_error_is_a_compilation_error(self):
+        # Callers catching the documented hierarchy keep working.
+        assert issubclass(LoweringError, CompilationError)
+
+
+class TestDriverSurface:
+    """The pipeline turns LoweringError into diagnostics, never a crash."""
+
+    REJECTED = {
+        "recursion": "main :: Int#\nmain = main\n",
+        "primop": "main :: Int#\nmain = 1# +# 2#\n",
+        "open_levity": ("main :: forall (r :: Rep) (a :: TYPE r)."
+                        " String -> a\n"
+                        "main s = error s\n"),
+        "unannotated_lambda": "main :: Int# -> Int#\nmain = \\x -> x\n",
+        "bad_case": "main :: Int#\n"
+                    "main = case 1# of { 1# -> 2#; _ -> 3# }\n",
+    }
+
+    @pytest.mark.parametrize("name", sorted(REJECTED))
+    def test_compile_reports_a_compile_stage_error(self, session, name):
+        result = session.compile(self.REJECTED[name], f"{name}.lev")
+        assert not result.ok
+        compile_errors = [d for d in result.check.diagnostics
+                          if d.stage == "compile" and d.severity == "error"]
+        assert compile_errors, result.check.pretty()
+        assert compile_errors[0].binding == "main"
+        assert compile_errors[0].span is not None
+
+    @pytest.mark.parametrize("name", ["primop", "bad_case"])
+    def test_run_degrades_to_a_note_and_still_evaluates(self, session, name):
+        result = session.run(self.REJECTED[name], f"{name}.lev")
+        assert result.ok, result.check.pretty()
+        assert result.machine_value is None
+        notes = [d for d in result.check.diagnostics
+                 if d.stage == "compile" and d.severity == "note"]
+        assert notes and "not cross-checked" in notes[0].message
+
+    def test_run_of_terminating_recursion_notes_the_skip(self, session):
+        result = session.run(
+            "count :: Int# -> Int#\n"
+            "count n = case n <=# 0# of "
+            "{ 1# -> 0#; _ -> 1# +# count (n -# 1#) }\n"
+            "main :: Int#\n"
+            "main = count 3#\n", "count.lev")
+        assert result.ok and result.value == "3#"
+        assert result.machine_value is None
+        notes = [d for d in result.check.diagnostics
+                 if d.stage == "compile" and d.severity == "note"]
+        assert notes and "not cross-checked" in notes[0].message
+
+    def test_run_of_levity_polymorphic_entry_is_skipped_not_crashed(
+            self, session):
+        result = session.run(self.REJECTED["open_levity"],
+                             "open_levity.lev")
+        # The entry takes a parameter, so run refuses it with a structured
+        # run-stage error (not a traceback).
+        assert not result.ok
+        assert any(d.stage == "run" for d in result.check.errors)
+
+    def test_cli_style_compile_of_fragment_program_still_works(self, session):
+        result = session.compile(
+            "unbox :: Int -> Int#\n"
+            "unbox b = case b of { I# x -> x }\n"
+            "main :: Int#\n"
+            "main = unbox (I# 9#)\n")
+        assert result.ok, result.check.pretty()
+        assert result.machine_value == "9"
