@@ -70,7 +70,9 @@ def test_report_fuzz_corpus_throughput(tmp_path):
     warm_cache = ResultCache(cache_path)
     time_op("e14.cache_warm", lambda: _check(sources, cache=warm_cache),
             repeats=1, meta={"programs": CORPUS_SIZE})
-    assert warm_cache.hits == CORPUS_SIZE and warm_cache.misses == 0, \
+    # Hierarchical cache (schema v2): unchanged programs are answered
+    # whole from their file-level entries.
+    assert warm_cache.file_hits == CORPUS_SIZE and warm_cache.misses == 0, \
         "warm run was not answered entirely from the cache"
 
     sample = corpus[:DIFFERENTIAL_SAMPLE]

@@ -5,9 +5,12 @@ Subcommands:
 * ``check file.lev [...]`` — run parse → infer → levity-check → defaulting
   over one or more files; print each binding's scheme (GHCi-style rep
   defaulting unless ``--explicit-reps``) and any diagnostics with source
-  spans.  Exit status 1 when any file fails.  ``--jobs N`` shards the
-  files across N worker processes; ``--cache PATH`` re-uses results for
-  files whose source text is unchanged (keyed by SHA-256).
+  spans plus GHC-style caret snippets.  Exit status 1 when any file
+  fails.  ``--jobs N`` shards the pending *bindings* across N worker
+  processes; ``--cache PATH`` re-uses results per binding (keyed by the
+  binding's source slice and the schemes of the bindings it uses, so one
+  edit re-checks only its dependents); ``--stats`` prints per-binding
+  timings and cache hit/miss counts.
 * ``run file.lev`` — check, then evaluate ``--entry`` (default ``main``)
   on the cost-model machine; when the entry fits the L fragment it is also
   compiled via Figure 7 and cross-checked on the M machine.
@@ -84,14 +87,27 @@ def _check_json(results) -> str:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    from .driver.batch import CheckStats
+
     session = Session(_options(args))
     sources = [(path, _read_source(path)) for path in args.files]
-    results = session.check_many(sources, jobs=args.jobs, cache=args.cache)
+    stats = CheckStats() if args.stats else None
+    results = session.check_many(sources, jobs=args.jobs, cache=args.cache,
+                                 stats=stats)
+    source_of = dict(sources)
     if args.json:
         print(_check_json(results))
     else:
         for result in results:
-            print(result.pretty())
+            # The source in hand enables GHC-style caret snippets under
+            # span-carrying diagnostics.
+            print(result.pretty(source=source_of.get(result.filename)))
+    if stats is not None:
+        # Under --json the stats go to stderr so stdout stays one valid
+        # machine-readable document.
+        stream = sys.stderr if args.json else sys.stdout
+        print("-- stats --", file=stream)
+        print(stats.pretty(), file=stream)
     return 0 if all(result.ok for result in results) else 1
 
 
@@ -208,8 +224,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shard the files across N worker processes "
                             "(default: 1, in-process)")
     check.add_argument("--cache", default=None, metavar="PATH",
-                       help="incremental result cache keyed by the SHA-256 "
-                            "of each source text (see docs/BATCH.md)")
+                       help="incremental result cache keyed per binding "
+                            "(source slice + dependency schemes; see "
+                            "docs/INCREMENTAL.md)")
+    check.add_argument("--stats", action="store_true",
+                       help="print per-binding check timings and cache "
+                            "hit/miss counts")
     check.set_defaults(func=_cmd_check)
 
     run = sub.add_parser("run", help="check then evaluate an entry point")

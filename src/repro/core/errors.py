@@ -18,7 +18,18 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for every error raised by the repro library."""
+    """Base class for every error raised by the repro library.
+
+    ``span`` is an optional source location (a
+    :class:`repro.frontend.lexer.Span`) attached by layers that know where
+    the offending syntax came from — the inference engine sets it to the
+    span of the offending *sub-expression* when one is on record, so the
+    driver's diagnostics can point at the identifier or argument rather
+    than the whole binding.
+    """
+
+    #: Optional source span (set post-construction by span-aware callers).
+    span = None
 
 
 class TypeCheckError(ReproError):

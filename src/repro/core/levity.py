@@ -36,6 +36,10 @@ class LevityViolation:
     kind_of_violation: str  # "binder" or "argument"
     description: str
     offending_kind: Optional[Kind] = None
+    #: Source span of the offending binder/argument site, when the caller
+    #: recorded one (a :class:`repro.frontend.lexer.Span`; kept loosely
+    #: typed so the core calculus stays frontend-independent).
+    span: Optional[object] = None
 
     def pretty(self) -> str:
         where = ("A levity-polymorphic binder"

@@ -12,10 +12,14 @@ reproduction as one pipeline::
 * :class:`~repro.driver.session.Pipeline` — the staged checker producing
   structured :class:`~repro.driver.session.Diagnostic` values with source
   spans;
+* :mod:`repro.driver.depgraph` — binding-level dependency graphs: each
+  module is broken into SCC-condensed **compilation units** checked in
+  dependency order (the granularity of error recovery, caching and
+  sharding);
 * :mod:`repro.driver.batch` — sharded parallel batch checking across
-  worker processes with an incremental source-hash result cache
-  (``Session.check_many(jobs=..., cache=...)`` and
-  ``python -m repro check --jobs N --cache PATH``);
+  worker processes with a binding-level incremental result cache
+  (``Session.check_many(jobs=..., cache=..., stats=...)`` and
+  ``python -m repro check --jobs N --cache PATH --stats``);
 * :mod:`repro.driver.lower` — the bridge from checked surface programs
   into the formal calculus L (and from there through ``compile/`` to the
   M machine).
@@ -24,7 +28,8 @@ The ``python -m repro`` command line lives in :mod:`repro.__main__` and is
 a thin wrapper over this package.
 """
 
-from .batch import ResultCache, check_many_sharded
+from .batch import CheckStats, ResultCache, check_many_sharded
+from .depgraph import CheckUnit, ModulePlan, build_plan
 from .lower import LoweringError, lower_binding, lower_entry, lower_type
 from .session import (
     BindingSummary,
@@ -35,21 +40,27 @@ from .session import (
     Pipeline,
     RunResult,
     Session,
+    render_snippet,
 )
 
 __all__ = [
     "BindingSummary",
     "CheckResult",
+    "CheckStats",
+    "CheckUnit",
     "CompileResult",
     "Diagnostic",
     "DriverOptions",
     "LoweringError",
+    "ModulePlan",
     "Pipeline",
     "ResultCache",
     "RunResult",
     "Session",
+    "build_plan",
     "check_many_sharded",
     "lower_binding",
     "lower_entry",
     "lower_type",
+    "render_snippet",
 ]

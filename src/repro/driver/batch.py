@@ -1,42 +1,48 @@
-"""Sharded parallel batch checking with an incremental source-hash cache.
+"""Sharded parallel batch checking with a **binding-level** incremental cache.
 
-PR 2 made programs *data* (``.lev`` corpora through
-:meth:`repro.driver.Session.check_many`); this module makes checking them
-scale the way the batch-verification frameworks in the related work do:
-independent program units fanned out across workers, with verification
-results cached so unchanged inputs are never re-checked.
+PR 3 cached whole source texts; this version caches **compilation units**
+(single bindings or mutually recursive SCC groups, see
+:mod:`repro.driver.depgraph`).  A unit's cache key is::
+
+    sha256( schema : options-fingerprint : unit source slice
+            : for each direct dependency, its name + the canonical
+              rendering of its scheme )
+
+so editing one binding invalidates exactly that unit plus the units whose
+*dependency schemes actually change* — a dependent whose dependency was
+edited but re-checked to the same scheme is still a cache hit (early
+cutoff).  Parse is always re-done (it is cheap and yields the plan the
+walk needs); inference, the levity post-pass and Rep defaulting are what
+the cache skips.
 
 Three layers:
 
-* **Payloads** — :func:`result_to_payload` / :func:`result_from_payload`
-  convert a :class:`~repro.driver.session.CheckResult` to and from a slim,
-  JSON-able dict (rendered schemes, diagnostics with spans, per-binding
-  status).  Payloads are the wire format between worker processes *and* the
-  on-disk cache format, so a cache hit and a worker round-trip produce the
-  same bytes.  Payload results carry ``scheme=None``/``parsed=None``/
-  ``env=None`` — everything else is preserved exactly.
+* **Unit payloads** — :func:`payload_from_unit_outcome` converts one
+  checked unit into a slim JSON dict: per-member rendered schemes, status,
+  diagnostics, and the *canonical* (explicit-runtime-reps) scheme
+  rendering dependents key on and reconstruct typing environments from
+  (via :func:`repro.frontend.parser.parse_scheme`).  Spans are stored
+  **relative to the unit's source segments**, so a unit that merely moved
+  (an earlier binding grew) is still a hit and is re-stamped with correct
+  absolute lines on the way out.
 
-* **The cache** — :class:`ResultCache`, a single JSON file mapping cache
-  keys to payloads.  The key is the SHA-256 of the *source text*,
-  namespaced by :data:`CACHE_SCHEMA` and a fingerprint of the
-  :class:`~repro.driver.session.DriverOptions` (a result rendered with
-  ``--explicit-reps`` must never satisfy a default-display lookup).  The
-  filename deliberately stays out of the key: renaming a file re-uses its
-  cached result, re-stamped with the new name.
+* **The cache** — :class:`ResultCache`, one JSON document mapping unit
+  keys to unit payloads.  Writes are atomic (temp file + ``os.replace``)
+  and **merge-on-save**: concurrent runs sharing a cache path cannot tear
+  the document or clobber each other's fresh entries.
 
-* **The shards** — :func:`check_many_sharded` splits the un-cached
-  ``(filename, source)`` pairs into contiguous shards, one per worker of a
-  :class:`concurrent.futures.ProcessPoolExecutor`.  Each worker builds the
-  prelude once (:func:`_worker_init` creates a warm
-  :class:`~repro.driver.session.Session` per process) and checks its whole
-  shard in one round-trip.  Results are merged back **in input order**
-  regardless of which worker finished first, and a pipeline failure on one
-  binding stays a diagnostic in that program's result — shards cannot
-  poison each other because they share nothing but the prelude.
+* **The scheduler** — :func:`check_many_sharded` walks every file's units
+  in dependency order.  With ``jobs > 1`` the pending units are dispatched
+  in **waves**: each wave contains every unit whose dependencies are
+  resolved, sharded across a process pool (units — not files — are the
+  unit of sharding).  Workers re-derive the plan from the shipped source
+  and receive the transitive dependency schemes as canonical renderings,
+  so a worker round-trip is byte-identical to an in-process check.
 
-Full (non-slim) results still cross process boundaries correctly when
-needed: the hash-consed type/kind/representation nodes define
-``__reduce__``, so pickled schemes re-intern on the receiving side.
+File-level payload helpers (:func:`result_to_payload` /
+:func:`result_from_payload` / :func:`payload_bytes`) are unchanged from
+the v1 format and remain the canonical way to compare results for byte
+identity.
 """
 
 from __future__ import annotations
@@ -46,35 +52,47 @@ import hashlib
 import json
 import os
 import tempfile
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..core.errors import ParseError
 from ..frontend.lexer import Span
+from ..infer.schemes import Scheme
+from .depgraph import CheckUnit, ModulePlan, build_plan
 from .session import (
     BindingSummary,
     CheckResult,
     Diagnostic,
     DriverOptions,
+    Pipeline,
     Session,
+    UnitOutcome,
+    assemble_decl_order,
 )
 
 __all__ = [
     "CACHE_SCHEMA",
+    "CheckStats",
     "ResultCache",
     "cache_key",
+    "canonical_scheme",
     "check_many_sharded",
     "options_fingerprint",
     "payload_bytes",
+    "payload_from_unit_outcome",
     "result_from_payload",
     "result_to_payload",
+    "unit_key",
 ]
 
 #: Bump when the payload layout or the pipeline's observable output changes
 #: incompatibly; old cache entries then miss instead of deserialising junk.
-CACHE_SCHEMA = 1
+#: v2: binding-level units (one entry per unit, spans segment-relative).
+CACHE_SCHEMA = 2
 
 
 # ---------------------------------------------------------------------------
-# Payloads (the wire + cache format)
+# File-level payloads (the result wire format, unchanged from v1)
 # ---------------------------------------------------------------------------
 
 
@@ -91,7 +109,7 @@ def _span_from_list(data: Optional[Sequence[int]]) -> Optional[Span]:
 
 
 def result_to_payload(result: CheckResult) -> dict:
-    """The slim, JSON-able view of a check result.
+    """The slim, JSON-able view of a whole-file check result.
 
     Drops the heavyweight fields (``scheme`` objects, the parsed module,
     the typing environment) and keeps what batch consumers need: rendered
@@ -125,11 +143,7 @@ def result_to_payload(result: CheckResult) -> dict:
 
 def result_from_payload(payload: dict,
                         filename: Optional[str] = None) -> CheckResult:
-    """Rebuild a (slim) :class:`CheckResult` from a payload dict.
-
-    ``filename`` re-stamps the result — cache hits keyed purely by source
-    text use it to report the name the caller actually passed.
-    """
+    """Rebuild a (slim) :class:`CheckResult` from a file-level payload."""
     name = filename if filename is not None else payload["filename"]
     result = CheckResult(name, ok=payload["ok"])
     for binding in payload["bindings"]:
@@ -151,17 +165,97 @@ def payload_bytes(payload: dict) -> bytes:
                       separators=(",", ":")).encode("utf-8")
 
 
-def _payload_valid(payload: dict) -> bool:
-    """Can ``payload`` actually be rebuilt into a CheckResult?"""
+# ---------------------------------------------------------------------------
+# Unit payloads (the cache + worker-IPC format)
+# ---------------------------------------------------------------------------
+
+
+def canonical_scheme(scheme: Scheme) -> str:
+    """The canonical textual form of a scheme: the fully explicit rendering.
+
+    This is what unit cache keys hash and what workers/cache hits parse
+    back (via :func:`repro.frontend.parser.parse_scheme`) to rebuild a
+    dependent's typing environment.  Explicit runtime reps are mandatory —
+    the display-defaulted rendering would erase levity polymorphism.
+    """
+    return scheme.pretty(explicit_runtime_reps=True)
+
+
+def _rel_span(unit: CheckUnit, span: Optional[Span]) -> Optional[List[int]]:
+    if span is None:
+        return None
+    segment, fields = unit.relativize_span(span)
+    return [segment] + fields
+
+
+def _abs_span(unit: CheckUnit,
+              data: Optional[Sequence[int]]) -> Optional[Span]:
+    if data is None:
+        return None
+    return unit.absolutize_span(data[0], data[1:])
+
+
+def payload_from_unit_outcome(outcome: UnitOutcome) -> dict:
+    """Convert one checked unit into its slim cache/IPC payload."""
+    unit = outcome.unit
+    members = []
+    for member in outcome.members:
+        summary = member.summary
+        members.append({
+            "name": summary.name,
+            "rendered": summary.rendered,
+            "ok": summary.ok,
+            "defaulted_rep_vars": list(summary.defaulted_rep_vars),
+            "span": _rel_span(unit, summary.span),
+            "scheme_src": (canonical_scheme(member.env_scheme)
+                           if member.env_scheme is not None else None),
+            "diagnostics": [
+                {
+                    "severity": diagnostic.severity,
+                    "stage": diagnostic.stage,
+                    "message": diagnostic.message,
+                    "binding": diagnostic.binding,
+                    "span": _rel_span(unit, diagnostic.span),
+                }
+                for diagnostic in member.diagnostics
+            ],
+        })
+    return {"members": members}
+
+
+def _unit_payload_valid(payload: dict) -> bool:
+    """Shape-check a unit payload before trusting a cache entry."""
     try:
-        result_from_payload(payload)
+        members = payload["members"]
+        if not isinstance(members, list):
+            return False
+        for member in members:
+            member["name"]; member["rendered"]; member["ok"]
+            member["scheme_src"]
+            list(member["defaulted_rep_vars"])
+            if member["span"] is not None:
+                Span(*member["span"][1:])
+            for diagnostic in member["diagnostics"]:
+                diagnostic["severity"]; diagnostic["stage"]
+                diagnostic["message"]; diagnostic["binding"]
+                if diagnostic["span"] is not None:
+                    Span(*diagnostic["span"][1:])
+    except (KeyError, TypeError, IndexError):
+        return False
+    return True
+
+
+def _file_payload_valid(payload: dict) -> bool:
+    """Shape-check a whole-file payload before trusting a cache entry."""
+    try:
+        result_from_payload(payload, "<probe>")
     except (KeyError, TypeError, IndexError):
         return False
     return True
 
 
 # ---------------------------------------------------------------------------
-# The incremental cache
+# Cache keys
 # ---------------------------------------------------------------------------
 
 
@@ -182,55 +276,104 @@ def options_fingerprint(options: DriverOptions) -> str:
     return hashlib.sha256(state.encode("utf-8")).hexdigest()[:16]
 
 
-def cache_key(source: str, options: DriverOptions) -> str:
-    """SHA-256 of the source text, namespaced by schema + options.
+def cache_key(source: str, options: DriverOptions,
+              _fingerprint: Optional[str] = None) -> str:
+    """SHA-256 of a source text, namespaced by schema + options.
 
-    The filename is deliberately excluded — see the module docstring.
+    For units the ``source`` is the unit's declaration slice; filenames
+    are deliberately excluded, so renaming a file (or moving a binding
+    within one) re-uses its cached results.  ``_fingerprint`` lets batch
+    loops amortise the options digest across thousands of keys.
     """
+    fingerprint = _fingerprint or options_fingerprint(options)
     hasher = hashlib.sha256()
     hasher.update(f"repro-check:{CACHE_SCHEMA}:"
-                  f"{options_fingerprint(options)}:".encode("utf-8"))
+                  f"{fingerprint}:".encode("utf-8"))
     hasher.update(source.encode("utf-8"))
     return hasher.hexdigest()
 
 
+#: Key marker for a dependency that failed without leaving a scheme; no
+#: real rendering can collide with it (schemes never start with \x01).
+_FAILED_DEP = "\x01failed"
+
+
+def unit_key(unit_source: str,
+             dep_items: Iterable[Tuple[str, Optional[str]]],
+             options: DriverOptions,
+             _fingerprint: Optional[str] = None) -> str:
+    """The cache key of one unit: source slice + direct-dependency schemes.
+
+    ``dep_items`` pairs each direct dependency's name with the canonical
+    rendering of its scheme (or None when the dependency failed to produce
+    one).  Editing a dependency only invalidates this key when its
+    *scheme* changes — the early-cutoff property.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(cache_key(unit_source, options,
+                            _fingerprint).encode("utf-8"))
+    for name, scheme_src in sorted(dep_items):
+        hasher.update(b"\x00dep\x00")
+        hasher.update(name.encode("utf-8"))
+        hasher.update(b"\x00")
+        hasher.update((scheme_src if scheme_src is not None
+                       else _FAILED_DEP).encode("utf-8"))
+    return hasher.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The incremental cache
+# ---------------------------------------------------------------------------
+
+
 class ResultCache:
-    """A file-backed map from cache keys to result payloads.
+    """A file-backed map from unit keys to unit payloads.
 
     The on-disk format is one JSON document::
 
-        {"schema": 1, "entries": {"<sha256>": {...payload...}, ...}}
+        {"schema": 2, "entries": {"<sha256>": {"members": [...]}, ...}}
 
     Entries from an older :data:`CACHE_SCHEMA` are discarded wholesale on
     load.  ``hits``/``misses``/``stores`` counters make cache behaviour
-    observable to benchmarks and tests.
+    observable to benchmarks, tests and ``--stats``.
+
+    :meth:`save` is **atomic and merging**: the document is written to a
+    temp file and ``os.replace``-d into place, after folding in any
+    entries another process persisted since we loaded — so concurrent
+    ``--jobs`` runs sharing one ``--cache`` path can neither interleave a
+    torn document nor silently drop each other's work.
     """
 
     def __init__(self, path: Optional[str] = None) -> None:
         self.path = path
         self.entries: Dict[str, dict] = {}
+        #: Unit-level counters (the granularity ``--stats`` reports).
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Whole-file short-circuit counters: an unchanged file is answered
+        #: from one file-level entry without even being re-parsed.
+        self.file_hits = 0
+        self.file_stores = 0
         self._dirty = False
         if path is not None and os.path.exists(path):
-            self._load(path)
+            self.entries = self._load(path)
 
-    def _load(self, path: str) -> None:
+    @staticmethod
+    def _load(path: str) -> Dict[str, dict]:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 document = json.load(handle)
         except (OSError, ValueError):
-            return  # an unreadable/corrupt cache is just a cold cache
+            return {}  # an unreadable/corrupt cache is just a cold cache
         if document.get("schema") != CACHE_SCHEMA:
-            return
+            return {}
         entries = document.get("entries")
-        if isinstance(entries, dict):
-            self.entries = entries
+        return entries if isinstance(entries, dict) else {}
 
-    def lookup(self, source: str, options: DriverOptions) -> Optional[dict]:
-        payload = self.entries.get(cache_key(source, options))
-        if payload is not None and not _payload_valid(payload):
+    def lookup(self, key: str) -> Optional[dict]:
+        payload = self.entries.get(key)
+        if payload is not None and not _unit_payload_valid(payload):
             # A malformed entry (hand-edited file, truncated write) is a
             # miss, not an error; the re-check overwrites it.  Validating
             # here keeps the hit/miss counters truthful.
@@ -241,17 +384,38 @@ class ResultCache:
             self.hits += 1
         return payload
 
-    def store(self, source: str, options: DriverOptions,
-              payload: dict) -> None:
-        self.entries[cache_key(source, options)] = payload
+    def store(self, key: str, payload: dict) -> None:
+        self.entries[key] = payload
         self.stores += 1
         self._dirty = True
 
+    def lookup_file(self, key: str) -> Optional[dict]:
+        """Whole-file fast path; a miss here is silent (the unit walk that
+        follows keeps the truthful per-unit counters)."""
+        payload = self.entries.get(key)
+        if payload is None or not _file_payload_valid(payload):
+            return None
+        self.file_hits += 1
+        return payload
+
+    def store_file(self, key: str, payload: dict) -> None:
+        if self.entries.get(key) == payload:
+            return  # identical sources re-store nothing
+        self.entries[key] = payload
+        self.file_stores += 1
+        self._dirty = True
+
     def save(self) -> None:
-        """Write the cache atomically (write-to-temp + rename)."""
+        """Write the cache atomically (temp file + rename), merging any
+        entries a concurrent run persisted since this cache was loaded
+        (our own entries win on key collision — same key means same
+        deterministic payload anyway)."""
         if self.path is None or not self._dirty:
             return
-        document = {"schema": CACHE_SCHEMA, "entries": self.entries}
+        merged = self._load(self.path)
+        merged.update(self.entries)
+        self.entries = merged
+        document = {"schema": CACHE_SCHEMA, "entries": merged}
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
         descriptor, temp_path = tempfile.mkstemp(
@@ -270,11 +434,215 @@ class ResultCache:
 
 
 # ---------------------------------------------------------------------------
+# --stats bookkeeping
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class UnitTiming:
+    """One unit's row in the ``--stats`` table."""
+
+    filename: str
+    names: Tuple[str, ...]
+    seconds: Optional[float]      # None when checked in a worker process
+    outcome: str                  # "checked" | "hit"
+
+
+@dataclass
+class CheckStats:
+    """Per-unit timing and cache behaviour of one ``check_many`` call."""
+
+    files: int = 0
+    parse_failures: int = 0
+    #: Files answered whole from a file-level cache entry (never parsed).
+    file_hits: int = 0
+    units: int = 0
+    checked: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    timings: List[UnitTiming] = field(default_factory=list)
+
+    def note(self, filename: str, unit: CheckUnit,
+             seconds: Optional[float], outcome: str) -> None:
+        self.units += 1
+        if outcome == "hit":
+            self.cache_hits += 1
+        else:
+            self.checked += 1
+        self.timings.append(UnitTiming(filename, unit.names, seconds,
+                                       outcome))
+
+    def pretty(self, slowest: int = 10) -> str:
+        lines = [
+            f"files: {self.files}  file hits: {self.file_hits}  "
+            f"units: {self.units}  checked: {self.checked}  "
+            f"cache hits: {self.cache_hits}  "
+            f"cache misses: {self.cache_misses}"
+        ]
+        if self.parse_failures:
+            lines.append(f"parse failures: {self.parse_failures}")
+        timed = [t for t in self.timings if t.seconds is not None]
+        timed.sort(key=lambda t: t.seconds, reverse=True)
+        if timed:
+            lines.append(f"slowest units (of {len(timed)} timed):")
+            for timing in timed[:slowest]:
+                names = ", ".join(timing.names)
+                lines.append(f"  {timing.filename}:{names}  "
+                             f"{timing.seconds * 1000:.2f}ms  "
+                             f"[{timing.outcome}]")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The incremental unit walk (shared by the serial path and the workers)
+# ---------------------------------------------------------------------------
+
+
+class _SchemeResolver:
+    """Materialise dependency :class:`Scheme` objects on demand.
+
+    Schemes computed in-process are kept as objects; schemes that came
+    from cache hits or worker payloads exist only as canonical renderings
+    and are parsed back lazily.  If a rendering unexpectedly fails to
+    re-parse (a printer gap), the resolver *re-checks the defining unit
+    in-process* instead of propagating junk — self-healing at the cost of
+    one redundant check.
+    """
+
+    def __init__(self, pipeline: Pipeline, plan: ModulePlan,
+                 srcs: Dict[str, Optional[str]],
+                 objects: Optional[Dict[str, Optional[Scheme]]] = None
+                 ) -> None:
+        self.pipeline = pipeline
+        self.plan = plan
+        self.srcs = srcs
+        self.objects = objects if objects is not None else {}
+
+    def scheme(self, name: str) -> Optional[Scheme]:
+        if name in self.objects:
+            return self.objects[name]
+        src = self.srcs.get(name)
+        scheme: Optional[Scheme] = None
+        if src is not None:
+            from ..frontend.parser import parse_scheme
+
+            try:
+                scheme = parse_scheme(src)
+            except ParseError:
+                scheme = self._recheck(name)
+        self.objects[name] = scheme
+        return scheme
+
+    def _recheck(self, name: str) -> Optional[Scheme]:
+        uid = self.plan.defining_unit.get(name)
+        if uid is None:
+            return None
+        unit = self.plan.units[uid]
+        available = {dep: self.scheme(dep) for dep in unit.deps}
+        outcome = self.pipeline.check_unit(self.plan, unit, available)
+        for member in outcome.members:
+            if member.summary.name == name:
+                return member.env_scheme
+        return None
+
+    def available_for(self, unit: CheckUnit) -> Dict[str, Optional[Scheme]]:
+        return {dep: self.scheme(dep) for dep in unit.deps}
+
+
+def _compute_unit_payload(pipeline: Pipeline, plan: ModulePlan, uid: int,
+                          resolver: _SchemeResolver
+                          ) -> Tuple[dict, UnitOutcome]:
+    unit = plan.units[uid]
+    outcome = pipeline.check_unit(plan, unit, resolver.available_for(unit))
+    return payload_from_unit_outcome(outcome), outcome
+
+
+# ---------------------------------------------------------------------------
+# Per-file state
+# ---------------------------------------------------------------------------
+
+
+class _FileState:
+    """One input file's parse, plan, and per-unit resolution state."""
+
+    def __init__(self, index: int, filename: str, source: str,
+                 pipeline: Pipeline) -> None:
+        self.index = index
+        self.filename = filename
+        self.source = source
+        self.parsed, self.parse_diagnostics = pipeline.parse(source, filename)
+        self.plan: Optional[ModulePlan] = (
+            build_plan(self.parsed) if self.parsed is not None else None)
+        #: uid -> unit payload, filled as units resolve.
+        self.payloads: Dict[int, dict] = {}
+        #: defined name -> canonical scheme rendering (or None = failed).
+        self.scheme_srcs: Dict[str, Optional[str]] = {}
+        #: defined name -> materialised Scheme (in-process checks only).
+        self.schemes: Dict[str, Optional[Scheme]] = {}
+
+    @property
+    def units(self) -> List[CheckUnit]:
+        return self.plan.units if self.plan is not None else []
+
+    def dep_items(self, unit: CheckUnit
+                  ) -> List[Tuple[str, Optional[str]]]:
+        return [(dep, self.scheme_srcs.get(dep)) for dep in unit.deps]
+
+    def resolve(self, plan_unit: CheckUnit, payload: dict,
+                outcome: Optional[UnitOutcome] = None) -> None:
+        """Record a unit's payload and export its defining schemes."""
+        self.payloads[plan_unit.uid] = payload
+        plan = self.plan
+        by_name = {}
+        if outcome is not None:
+            by_name = {m.summary.name: m for m in outcome.members}
+        for decl_index, member in zip(plan_unit.member_decls,
+                                      payload["members"]):
+            name = member["name"]
+            if plan.defining_decl.get(name) != decl_index:
+                continue
+            self.scheme_srcs[name] = member["scheme_src"]
+            if name in by_name:
+                self.schemes[name] = by_name[name].env_scheme
+
+    def assemble(self) -> CheckResult:
+        """Stitch the resolved unit payloads into a slim file result."""
+        result = CheckResult(self.filename)
+        result.diagnostics.extend(self.parse_diagnostics)
+        if self.parsed is None:
+            result.ok = False
+            return result
+        plan = self.plan
+        entries: Dict[int, Tuple[BindingSummary, List[Diagnostic]]] = {}
+        for unit in plan.units:
+            payload = self.payloads[unit.uid]
+            for decl_index, member in zip(unit.member_decls,
+                                          payload["members"]):
+                span = _abs_span(unit, member["span"])
+                summary = BindingSummary(
+                    member["name"], None, member["rendered"], member["ok"],
+                    tuple(member["defaulted_rep_vars"]), span)
+                diagnostics = [
+                    Diagnostic(d["severity"], d["stage"], d["message"],
+                               self.filename, _abs_span(unit, d["span"]),
+                               d["binding"])
+                    for d in member["diagnostics"]]
+                entries[decl_index] = (summary, diagnostics)
+        assemble_decl_order(plan, entries, result)
+        result.ok = not result.errors
+        return result
+
+
+# ---------------------------------------------------------------------------
 # Worker processes
 # ---------------------------------------------------------------------------
 
 #: The per-process warm session (prelude built once per worker).
 _WORKER_SESSION: Optional[Session] = None
+
+#: Process-global parse/plan memo, keyed by source hash (bounded).
+_WORKER_PLANS: Dict[str, ModulePlan] = {}
+_WORKER_PLAN_LIMIT = 1024
 
 
 def _worker_init(options_state: dict) -> None:
@@ -282,21 +650,74 @@ def _worker_init(options_state: dict) -> None:
     _WORKER_SESSION = Session(DriverOptions(**options_state))
 
 
-def _worker_check_shard(shard: List[Tuple[int, str, str]]
-                        ) -> List[Tuple[int, dict]]:
-    """Check one shard of ``(index, filename, source)`` jobs.
+def _plan_for(pipeline: Pipeline, filename: str, source: str) -> ModulePlan:
+    memo_key = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    plan = _WORKER_PLANS.get(memo_key)
+    if plan is None:
+        parsed, _ = pipeline.parse(source, filename)
+        assert parsed is not None, \
+            "worker received a source that does not parse"
+        plan = build_plan(parsed)
+        if len(_WORKER_PLANS) >= _WORKER_PLAN_LIMIT:
+            _WORKER_PLANS.clear()
+        _WORKER_PLANS[memo_key] = plan
+    return plan
 
-    Returns payload dicts (not CheckResults): the slim form keeps the IPC
-    pickle small and makes worker output byte-identical to cache output.
+
+def _check_pending_units(pipeline: Pipeline, plan: ModulePlan,
+                         pending: Sequence[int],
+                         resolver: "_SchemeResolver"
+                         ) -> List[Tuple[int, dict]]:
+    """Check a file's pending units in dependency order, exporting each
+    unit's schemes into the resolver so later units in the chain see them.
+    ``pending`` uids are ascending, which *is* dependency order."""
+    payloads: List[Tuple[int, dict]] = []
+    for uid in pending:
+        unit = plan.units[uid]
+        payload, outcome = _compute_unit_payload(pipeline, plan, uid,
+                                                 resolver)
+        payloads.append((uid, payload))
+        for member in outcome.members:
+            name = member.summary.name
+            if plan.defining_decl.get(name) == member.decl_index:
+                resolver.objects[name] = member.env_scheme
+                resolver.srcs[name] = (
+                    canonical_scheme(member.env_scheme)
+                    if member.env_scheme is not None else None)
+    return payloads
+
+
+#: One worker job: (job id, filename, source, pending unit uids,
+#: resolved dependency scheme renderings).
+_UnitJob = Tuple[int, str, str, List[int],
+                 List[Tuple[str, Optional[str]]]]
+
+
+def _worker_check_units(shard: List[_UnitJob]
+                        ) -> List[Tuple[int, List[Tuple[int, dict]]]]:
+    """Check one shard of unit jobs.
+
+    The shard's granularity is the *unit*: fully-cached units never reach
+    a worker, and each job carries exactly one file's pending units (file
+    affinity keeps one parse per file; units within a file form dependency
+    chains, so they are walked in order locally).  Workers re-derive the
+    plan from the shipped source (deterministic) and rebuild dependency
+    environments from the canonical scheme renderings, so worker output is
+    byte-identical to an in-process check.
     """
     session = _WORKER_SESSION
     assert session is not None, "worker used without _worker_init"
-    return [(index, result_to_payload(session.check(source, filename)))
-            for index, filename, source in shard]
+    pipeline = session.pipeline
+    out = []
+    for job, filename, source, pending, dep_srcs in shard:
+        plan = _plan_for(pipeline, filename, source)
+        resolver = _SchemeResolver(pipeline, plan, dict(dep_srcs))
+        out.append((job, _check_pending_units(pipeline, plan, pending,
+                                              resolver)))
+    return out
 
 
-def _shard(pending: List[Tuple[int, str, str]],
-           jobs: int) -> List[List[Tuple[int, str, str]]]:
+def _shard(pending: List, jobs: int) -> List[List]:
     """Contiguous shards, one per worker (a single IPC round-trip each)."""
     size, remainder = divmod(len(pending), jobs)
     shards = []
@@ -309,39 +730,6 @@ def _shard(pending: List[Tuple[int, str, str]],
     return shards
 
 
-def _check_serial(pending: List[Tuple[int, str, str]],
-                  options: DriverOptions,
-                  session: Optional[Session] = None
-                  ) -> List[Tuple[int, dict]]:
-    if session is None:
-        session = Session(options)
-    return [(index, result_to_payload(session.check(source, filename)))
-            for index, filename, source in pending]
-
-
-def _check_parallel(pending: List[Tuple[int, str, str]],
-                    options: DriverOptions,
-                    jobs: int) -> List[Tuple[int, dict]]:
-    import concurrent.futures
-
-    options_state = dataclasses.asdict(options)
-    try:
-        with concurrent.futures.ProcessPoolExecutor(
-                max_workers=jobs, initializer=_worker_init,
-                initargs=(options_state,)) as executor:
-            futures = [executor.submit(_worker_check_shard, shard)
-                       for shard in _shard(pending, jobs)]
-            out: List[Tuple[int, dict]] = []
-            for future in futures:
-                out.extend(future.result())
-            return out
-    except (OSError, PermissionError,
-            concurrent.futures.process.BrokenProcessPool):
-        # Restricted environments (no /dev/shm, no fork) degrade to the
-        # serial path rather than failing the whole batch.
-        return _check_serial(pending, options)
-
-
 # ---------------------------------------------------------------------------
 # The public batch entry point
 # ---------------------------------------------------------------------------
@@ -352,60 +740,222 @@ def check_many_sharded(sources: Iterable[Tuple[str, str]],
                        jobs: int = 1,
                        cache: Union[ResultCache, str, None] = None,
                        session: Optional[Session] = None,
+                       stats: Optional[CheckStats] = None,
                        ) -> List[CheckResult]:
-    """Check many ``(filename, source)`` programs, sharded and cached.
+    """Check many ``(filename, source)`` programs at unit granularity.
 
-    * ``jobs > 1`` fans the un-cached programs out across that many worker
-      processes; ``jobs == 1`` checks them in-process (still through the
-      payload round-trip, so results are identical either way).
-    * ``cache`` (a path or a :class:`ResultCache`) skips every program
-      whose source hash is already recorded and persists new results.
+    The cache is hierarchical: an unchanged *file* (whole-source key) is
+    answered from one file-level entry without even re-parsing; an edited
+    file is parsed and planned, and its units resolve individually — from
+    the per-unit cache (source slice + dependency schemes) where possible,
+    otherwise by checking, in-process or across ``jobs`` worker processes.
+    Sharding is unit-granular with file affinity: only pending units ship,
+    one job per file, so one worker round-trip covers a whole dependency
+    chain with a single parse.
 
     Results always come back **in input order**, as slim payload-backed
     :class:`CheckResult` values (``scheme``/``parsed``/``env`` are None).
+    ``stats`` (a :class:`CheckStats`) collects per-unit timing and cache
+    hit/miss counts for ``--stats``.
     """
     options = options or DriverOptions()
     jobs = max(1, int(jobs))
-    items = [(index, filename, source)
-             for index, (filename, source) in enumerate(sources)]
-    results: List[Optional[CheckResult]] = [None] * len(items)
-
     if isinstance(cache, str):
         cache = ResultCache(cache)
+    if session is None:
+        session = Session(options)
+    pipeline = session.pipeline
+    fingerprint = options_fingerprint(options)
 
-    pending: List[Tuple[int, str, str]] = []
-    if cache is not None:
-        for index, filename, source in items:
-            payload = cache.lookup(source, options)  # validates the entry
-            if payload is None:
-                pending.append((index, filename, source))
-            else:
+    items = list(sources)
+    results: List[Optional[CheckResult]] = [None] * len(items)
+    file_keys: List[str] = []
+    active: List[_FileState] = []
+    for index, (filename, source) in enumerate(items):
+        file_key = cache_key(source, options, fingerprint)
+        file_keys.append(file_key)
+        if cache is not None:
+            payload = cache.lookup_file(file_key)
+            if payload is not None:
                 results[index] = result_from_payload(payload, filename)
-    else:
-        pending = items
+                if stats is not None:
+                    stats.file_hits += 1
+                continue
+        active.append(_FileState(index, filename, source, pipeline))
 
-    if pending:
-        # Results are filename-independent (the payload is re-stamped per
-        # caller), so duplicate source texts in one batch check only once.
-        representative: Dict[str, int] = {}
-        unique: List[Tuple[int, str, str]] = []
-        for index, filename, source in pending:
-            if source not in representative:
-                representative[source] = index
-                unique.append((index, filename, source))
-        if jobs == 1 or len(unique) == 1:
-            computed = _check_serial(unique, options, session)
-        else:
-            computed = _check_parallel(unique, options,
-                                       min(jobs, len(unique)))
-        by_index = {index: payload for index, payload in computed}
-        for index, filename, source in pending:
-            payload = by_index[representative[source]]
-            if cache is not None and representative[source] == index:
-                cache.store(source, options, payload)
-            results[index] = result_from_payload(payload, filename)
+    if stats is not None:
+        stats.files = len(items)
+        stats.parse_failures = sum(1 for state in active
+                                   if state.parsed is None)
+
+    #: In-batch memo: identical units (same key) check at most once even
+    #: without a persistent cache.
+    memo: Dict[str, dict] = {}
+
+    def lookup(key: str) -> Optional[dict]:
+        if cache is not None:
+            payload = cache.lookup(key)
+            if stats is not None and payload is None:
+                stats.cache_misses += 1
+            return payload
+        return memo.get(key)
+
+    def record(key: str, payload: dict) -> None:
+        if cache is not None:
+            if key not in cache.entries \
+                    or cache.entries[key] != payload:
+                cache.store(key, payload)
+        memo[key] = payload
+
+    if jobs == 1:
+        for state in active:
+            if state.plan is None:
+                continue
+            resolver = _SchemeResolver(pipeline, state.plan,
+                                       state.scheme_srcs, state.schemes)
+            for unit in state.units:
+                key = unit_key(unit.source, state.dep_items(unit), options,
+                               fingerprint)
+                payload = lookup(key)
+                if payload is not None:
+                    state.resolve(unit, payload)
+                    if stats is not None:
+                        stats.note(state.filename, unit, 0.0, "hit")
+                    continue
+                payload, outcome = _compute_unit_payload(
+                    pipeline, state.plan, unit.uid, resolver)
+                record(key, payload)
+                state.resolve(unit, payload, outcome)
+                if stats is not None:
+                    stats.note(state.filename, unit, outcome.seconds,
+                               "checked")
+    else:
+        _check_units_parallel(active, options, jobs, lookup, record, stats,
+                              pipeline, fingerprint)
+
+    for state in active:
+        result = state.assemble()
+        results[state.index] = result
+        if cache is not None:
+            # File-level short-circuit entry for the next unchanged run.
+            # The filename is normalised out (re-stamped on load), so
+            # identical sources share one entry regardless of name.
+            payload = result_to_payload(result)
+            payload["filename"] = ""
+            cache.store_file(file_keys[state.index], payload)
 
     if cache is not None:
         cache.save()
     assert all(result is not None for result in results)
     return results  # type: ignore[return-value]
+
+
+def _check_units_parallel(active: List[_FileState], options: DriverOptions,
+                          jobs: int, lookup, record,
+                          stats: Optional[CheckStats],
+                          pipeline: Pipeline,
+                          fingerprint: Optional[str] = None) -> None:
+    """Resolve pending units across a process pool.
+
+    Per file, cache-resolvable units are answered in dependency order in
+    the main process (a hit exports its scheme rendering, which may make
+    the *next* unit's key resolvable — the early-cutoff cascade); the
+    first unresolvable unit and everything after it become one unit job.
+    Jobs are deduplicated (identical sources check once) and sharded
+    contiguously.  Restricted environments (no fork, no /dev/shm) degrade
+    to the in-process loop rather than failing.
+    """
+    import concurrent.futures
+
+    #: (state, pending uids) per file that still has work.
+    unit_jobs: List[Tuple[_FileState, List[int]]] = []
+    for state in active:
+        if state.plan is None:
+            continue
+        pending: List[int] = []
+        pending_uids: set = set()
+        for unit in state.units:
+            blocked = any(state.plan.defining_unit[dep] in pending_uids
+                          for dep in unit.deps)
+            if not blocked:
+                key = unit_key(unit.source, state.dep_items(unit), options,
+                               fingerprint)
+                payload = lookup(key)
+                if payload is not None:
+                    state.resolve(unit, payload)
+                    if stats is not None:
+                        stats.note(state.filename, unit, 0.0, "hit")
+                    continue
+            pending.append(unit.uid)
+            pending_uids.add(unit.uid)
+        if pending:
+            unit_jobs.append((state, pending))
+    if not unit_jobs:
+        return
+
+    # Deduplicate identical jobs (same source, same pending units, same
+    # dependency schemes): duplicate corpora check once.
+    signature_of: Dict[Tuple, int] = {}
+    unique: List[Tuple[_FileState, List[int]]] = []
+    duplicate_of: List[int] = []
+    for state, pending in unit_jobs:
+        signature = (state.source, tuple(pending),
+                     tuple(sorted(state.scheme_srcs.items())))
+        position = signature_of.get(signature)
+        if position is None:
+            signature_of[signature] = len(unique)
+            duplicate_of.append(len(unique))
+            unique.append((state, pending))
+        else:
+            duplicate_of.append(position)
+
+    shipped: List[_UnitJob] = [
+        (position, state.filename, state.source, pending,
+         list(state.scheme_srcs.items()))
+        for position, (state, pending) in enumerate(unique)]
+
+    computed: List[Optional[List[Tuple[int, dict]]]] = [None] * len(unique)
+
+    def compute_serially() -> None:
+        for position, (state, pending) in enumerate(unique):
+            if computed[position] is not None:
+                continue
+            resolver = _SchemeResolver(pipeline, state.plan,
+                                       dict(state.scheme_srcs),
+                                       dict(state.schemes))
+            computed[position] = _check_pending_units(
+                pipeline, state.plan, pending, resolver)
+
+    if len(unique) == 1:
+        compute_serially()
+    else:
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(jobs, len(unique)),
+                    initializer=_worker_init,
+                    initargs=(dataclasses.asdict(options),)) as executor:
+                futures = [executor.submit(_worker_check_units, shard)
+                           for shard in _shard(shipped,
+                                               min(jobs, len(shipped)))]
+                for future in futures:
+                    for position, payloads in future.result():
+                        computed[position] = payloads
+        except (OSError, PermissionError,
+                concurrent.futures.process.BrokenProcessPool):
+            compute_serially()
+
+    for job_index, (state, pending) in enumerate(unit_jobs):
+        payloads = computed[duplicate_of[job_index]]
+        assert payloads is not None
+        is_duplicate = state is not unique[duplicate_of[job_index]][0]
+        for uid, payload in payloads:
+            unit = state.plan.units[uid]
+            key = unit_key(unit.source, state.dep_items(unit), options,
+                           fingerprint)
+            if not is_duplicate:
+                record(key, payload)
+            state.resolve(unit, payload)
+            if stats is not None:
+                stats.note(state.filename, unit,
+                           0.0 if is_duplicate else None,
+                           "hit" if is_duplicate else "checked")

@@ -41,8 +41,9 @@ Stage inventory (``Pipeline.STAGES``):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..core.errors import ParseError, ReproError
 from ..frontend.lexer import Span
@@ -52,6 +53,7 @@ from ..infer.schemes import Scheme, TypeEnv
 from ..pretty.printer import PrinterOptions, render_scheme
 from ..surface.ast import FunBind, Module, TypeSig
 from ..surface.prelude import prelude_env
+from .depgraph import CheckUnit, ModulePlan, build_plan
 
 __all__ = [
     "Diagnostic",
@@ -59,8 +61,12 @@ __all__ = [
     "CheckResult",
     "RunResult",
     "CompileResult",
+    "MemberOutcome",
+    "UnitOutcome",
     "Pipeline",
     "Session",
+    "assemble_decl_order",
+    "render_snippet",
 ]
 
 
@@ -90,6 +96,33 @@ class Diagnostic:
 
     def __repr__(self) -> str:
         return self.pretty()
+
+
+def render_snippet(source: str, span: Span, indent: str = "  ") -> str:
+    """GHC-style caret snippet for ``span`` within ``source``::
+
+          |
+        3 | h = plusInt mystery 1
+          |             ^^^^^^^
+
+    Returns an empty string when the span's line is outside the source
+    (a stale cached span against an edited file, defensively).
+    """
+    lines = source.split("\n")
+    if span.line < 1 or span.line > len(lines):
+        return ""
+    text = lines[span.line - 1].rstrip("\n")
+    gutter = str(span.line)
+    pad = " " * len(gutter)
+    start = max(span.column, 1)
+    if span.end_line == span.line and span.end_column > span.column:
+        width = span.end_column - span.column      # spans are half-open
+    else:
+        width = max(len(text) - start + 1, 1)      # multi-line: to line end
+    caret = " " * (start - 1) + "^" * max(width, 1)
+    return "\n".join([f"{indent}{pad} |",
+                      f"{indent}{gutter} | {text}",
+                      f"{indent}{pad} | {caret}"])
 
 
 @dataclass
@@ -126,12 +159,19 @@ class CheckResult:
                 return binding.scheme
         return None
 
-    def pretty(self) -> str:
+    def pretty(self, source: Optional[str] = None) -> str:
+        """Render the result; with ``source``, diagnostics that carry a
+        span also print a GHC-style caret snippet under their message."""
         lines: List[str] = []
         for binding in self.bindings:
             if binding.ok:
                 lines.append(f"{binding.name} :: {binding.rendered}")
-        lines.extend(d.pretty() for d in self.diagnostics)
+        for diagnostic in self.diagnostics:
+            lines.append(diagnostic.pretty())
+            if source is not None and diagnostic.span is not None:
+                snippet = render_snippet(source, diagnostic.span)
+                if snippet:
+                    lines.append(snippet)
         status = "ok" if self.ok else "FAILED"
         lines.append(f"{self.filename}: {status} "
                      f"({len(self.bindings)} binding(s), "
@@ -287,8 +327,44 @@ class DriverOptions:
                             run_levity_check=self.run_levity_check)
 
 
+@dataclass
+class MemberOutcome:
+    """What checking one unit member (one ``FunBind`` decl) produced."""
+
+    decl_index: int
+    summary: BindingSummary
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: The scheme dependent units should see: the inferred scheme, or the
+    #: declared signature when the body failed but a signature exists
+    #: (batch-compiler style recovery), or None when nothing trustworthy
+    #: is available.
+    env_scheme: Optional[Scheme] = None
+
+
+@dataclass
+class UnitOutcome:
+    """The result of checking one compilation unit (binding/SCC group)."""
+
+    unit: CheckUnit
+    members: List[MemberOutcome]
+    #: Wall-clock seconds this unit's check took (``--stats``).
+    seconds: float = 0.0
+
+
 class Pipeline:
-    """The staged parse → infer → levity → default checker."""
+    """The staged parse → infer → levity → default checker.
+
+    Since the binding-level refactor the pipeline checks **compilation
+    units** (single bindings, or SCC groups of mutually recursive ones) in
+    dependency order: each unit's typing environment is the prelude plus
+    exactly the schemes of the unit's direct dependencies.  That makes a
+    unit's outcome a pure function of its own source text and those
+    schemes — the property the per-unit incremental cache
+    (:mod:`repro.driver.batch`) keys on — and turns per-binding error
+    recovery structural: a unit whose dependency failed without leaving a
+    trusted scheme is *skipped* with a precise diagnostic instead of
+    producing a misleading cascade.
+    """
 
     STAGES = ("parse", "infer", "levity", "default")
 
@@ -296,13 +372,19 @@ class Pipeline:
                  options: Optional[DriverOptions] = None) -> None:
         self.base_env = base_env
         self.options = options or DriverOptions()
+        #: Session-lived memo of declaration-block parses: re-checking a
+        #: module re-lexes/parses only the blocks whose text changed.
+        self._block_memo: Dict[str, object] = {}
 
     # -- parse ---------------------------------------------------------------
 
     def parse(self, source: str, filename: str) -> Tuple[Optional[ParsedModule],
                                                          List[Diagnostic]]:
+        from ..frontend.parser import parse_module_incremental
+
         try:
-            return parse_module(source, filename), []
+            return parse_module_incremental(source, filename,
+                                            memo=self._block_memo), []
         except ParseError as exc:
             span = Span(exc.line or 1, exc.column or 1,
                         exc.line or 1, exc.column or 1)
@@ -323,60 +405,226 @@ class Pipeline:
         if parsed is None:
             result.ok = False
             return result
-        self._check_module(parsed, result)
+        plan = build_plan(parsed)
+        outcomes = self.check_plan(plan)
+        self.assemble(plan, outcomes, result)
         result.ok = not result.errors
         return result
 
-    def _check_module(self, parsed: ParsedModule,
-                      result: CheckResult) -> None:
-        module = parsed.module
+    # -- unit-granularity checking -------------------------------------------
+
+    def plan(self, parsed: ParsedModule) -> ModulePlan:
+        """Break a parsed module into dependency-ordered check units."""
+        return build_plan(parsed)
+
+    def check_plan(self, plan: ModulePlan) -> Dict[int, UnitOutcome]:
+        """Check every unit of a plan in dependency order."""
+        available: Dict[str, Optional[Scheme]] = {}
+        outcomes: Dict[int, UnitOutcome] = {}
+        for unit in plan.units:
+            outcome = self.check_unit(plan, unit, available)
+            outcomes[unit.uid] = outcome
+            self.export_unit(plan, outcome, available)
+        return outcomes
+
+    @staticmethod
+    def export_unit(plan: ModulePlan, outcome: UnitOutcome,
+                    available: Dict[str, Optional[Scheme]]) -> None:
+        """Publish a checked unit's schemes for its dependents.
+
+        Only the *defining* declaration of a name exports (last definition
+        wins, consistent with :meth:`Module.bindings`); an entry may be
+        None — "this name exists but produced no trustworthy scheme" —
+        which makes dependents fail structurally instead of with a bogus
+        scope error.
+        """
+        for member in outcome.members:
+            name = member.summary.name
+            if plan.defining_decl.get(name) == member.decl_index:
+                available[name] = member.env_scheme
+
+    def check_unit(self, plan: ModulePlan, unit: CheckUnit,
+                   available: Mapping[str, Optional[Scheme]]) -> UnitOutcome:
+        """Check one unit against the schemes of its direct dependencies."""
+        parsed = plan.parsed
+        start = time.perf_counter()
+
+        dep_schemes: Dict[str, Scheme] = {}
+        missing: List[str] = []
+        for dep in unit.deps:
+            scheme = available.get(dep)
+            if scheme is None:
+                missing.append(dep)
+            else:
+                dep_schemes[dep] = scheme
+        env = self.base_env.bind_many(dep_schemes) if dep_schemes \
+            else self.base_env
+
+        signatures = parsed.module.signatures()
+        if missing:
+            members = self._skip_members(parsed, unit, signatures, missing)
+        elif unit.is_group:
+            members = self._check_group(parsed, unit, signatures, env)
+        else:
+            members = [self._check_member(parsed, unit.member_decls[0],
+                                          signatures, env)]
+        return UnitOutcome(unit, members, time.perf_counter() - start)
+
+    def _check_member(self, parsed: ParsedModule, decl_index: int,
+                      signatures: Dict[str, "SType"],
+                      env: TypeEnv) -> MemberOutcome:
+        decl = parsed.module.decls[decl_index]
         filename = parsed.filename
-        signatures = module.signatures()
-        bound_names = set(module.bindings())
-        env = self.base_env
+        span = parsed.decl_span_list[decl_index]
+        signature = signatures.get(decl.name)
+        inferencer = Inferencer(self.options.infer_options(),
+                                spans=parsed.expr_spans)
+        try:
+            binding = inferencer.infer_binding(
+                env, decl.name, decl.params, decl.rhs, signature)
+        except ReproError as exc:
+            stage = "levity" if "levity" in type(exc).__name__.lower() \
+                else "infer"
+            diagnostic = Diagnostic("error", stage, str(exc), filename,
+                                    exc.span or span, decl.name)
+            env_scheme = (Scheme.from_type(signature)
+                          if signature is not None else None)
+            # Later bindings may still check against the declaration.
+            return MemberOutcome(
+                decl_index,
+                BindingSummary(decl.name, None, "", False, span=span),
+                [diagnostic], env_scheme)
 
-        for decl in module.decls:
-            if isinstance(decl, TypeSig) and decl.name not in bound_names:
-                result.diagnostics.append(Diagnostic(
-                    "warning", "infer",
-                    f"type signature for {decl.name!r} lacks a binding",
-                    filename, parsed.decl_spans.get(("sig", decl.name)),
-                    decl.name))
-                continue
-            if not isinstance(decl, FunBind):
-                continue
+        diagnostics = [
+            Diagnostic("error", "levity", violation.pretty(), filename,
+                       violation.span or span, decl.name)
+            for violation in binding.levity_report.violations]
+        rendered = render_scheme(binding.scheme,
+                                 self.options.printer_options())
+        summary = BindingSummary(decl.name, binding.scheme, rendered,
+                                 binding.ok, binding.defaulted_rep_vars,
+                                 span)
+        return MemberOutcome(decl_index, summary, diagnostics,
+                             binding.scheme)
 
-            span = parsed.span_of_binding(decl.name)
+    def _check_group(self, parsed: ParsedModule, unit: CheckUnit,
+                     signatures: Dict[str, "SType"],
+                     env: TypeEnv) -> List[MemberOutcome]:
+        """A mutually recursive SCC: every member needs a signature; the
+        group is then checked member by member against the declared
+        schemes (polymorphic mutual recursion, GHC-style)."""
+        module = parsed.module
+        declared: Dict[str, Scheme] = {}
+        unsigned: List[str] = []
+        for decl_index in unit.member_decls:
+            decl = module.decls[decl_index]
             signature = signatures.get(decl.name)
-            inferencer = Inferencer(self.options.infer_options())
-            try:
-                binding = inferencer.infer_binding(
-                    env, decl.name, decl.params, decl.rhs, signature)
-            except ReproError as exc:
-                stage = "levity" if "levity" in type(exc).__name__.lower() \
-                    else "infer"
-                result.diagnostics.append(Diagnostic(
-                    "error", stage, str(exc), filename, span, decl.name))
-                result.bindings.append(BindingSummary(
-                    decl.name, None, "", False, span=span))
-                if signature is not None:
-                    # Later bindings may still check against the declaration.
-                    env = env.bind(decl.name, Scheme.from_type(signature))
-                continue
+            if signature is None:
+                unsigned.append(decl.name)
+            else:
+                declared[decl.name] = Scheme.from_type(signature)
 
-            ok = binding.ok
-            for violation in binding.levity_report.violations:
-                result.diagnostics.append(Diagnostic(
-                    "error", "levity", violation.pretty(),
-                    filename, span, decl.name))
-            rendered = render_scheme(binding.scheme,
-                                     self.options.printer_options())
-            result.bindings.append(BindingSummary(
-                decl.name, binding.scheme, rendered, ok,
-                binding.defaulted_rep_vars, span))
-            env = env.bind(decl.name, binding.scheme)
+        if unsigned:
+            group = ", ".join(repr(name) for name in unit.names)
+            members = []
+            for decl_index in unit.member_decls:
+                decl = module.decls[decl_index]
+                span = parsed.decl_span_list[decl_index]
+                if decl.name in unsigned:
+                    detail = f"{decl.name!r} has none"
+                else:
+                    detail = "missing: " + ", ".join(
+                        repr(name) for name in unsigned)
+                members.append(MemberOutcome(
+                    decl_index,
+                    BindingSummary(decl.name, None, "", False, span=span),
+                    [Diagnostic(
+                        "error", "infer",
+                        f"mutually recursive group ({group}) needs a type "
+                        f"signature for every member; {detail}",
+                        parsed.filename, span, decl.name)],
+                    declared.get(decl.name)))
+            return members
 
-        result.env = env
+        group_env = env.bind_many(declared)
+        return [self._check_member(parsed, decl_index, signatures, group_env)
+                for decl_index in unit.member_decls]
+
+    def _skip_members(self, parsed: ParsedModule, unit: CheckUnit,
+                      signatures: Dict[str, "SType"],
+                      missing: List[str]) -> List[MemberOutcome]:
+        """Structural error recovery: a dependency failed without leaving a
+        trusted scheme, so this unit cannot be checked meaningfully."""
+        module = parsed.module
+        deps = ", ".join(repr(name) for name in missing)
+        label = "dependency" if len(missing) == 1 else "dependencies"
+        members = []
+        for decl_index in unit.member_decls:
+            decl = module.decls[decl_index]
+            span = parsed.decl_span_list[decl_index]
+            signature = signatures.get(decl.name)
+            members.append(MemberOutcome(
+                decl_index,
+                BindingSummary(decl.name, None, "", False, span=span),
+                [Diagnostic(
+                    "error", "infer",
+                    f"{decl.name!r} was not checked: its {label} {deps} "
+                    "failed to check", parsed.filename, span, decl.name)],
+                Scheme.from_type(signature) if signature is not None
+                else None))
+        return members
+
+    def assemble(self, plan: ModulePlan, outcomes: Dict[int, UnitOutcome],
+                 result: CheckResult) -> None:
+        """Stitch unit outcomes back into declaration order."""
+        member_by_decl: Dict[int, MemberOutcome] = {
+            member.decl_index: member
+            for outcome in outcomes.values()
+            for member in outcome.members}
+        assemble_decl_order(
+            plan,
+            {index: (member.summary, member.diagnostics)
+             for index, member in member_by_decl.items()},
+            result)
+
+        schemes: Dict[str, Scheme] = {}
+        for name, decl_index in plan.defining_decl.items():
+            member = member_by_decl.get(decl_index)
+            if member is not None and member.env_scheme is not None:
+                schemes[name] = member.env_scheme
+        result.env = self.base_env.bind_many(schemes) if schemes \
+            else self.base_env
+
+
+def assemble_decl_order(
+        plan: ModulePlan,
+        entries: Dict[int, Tuple[BindingSummary, List[Diagnostic]]],
+        result: CheckResult) -> None:
+    """Stitch per-declaration (summary, diagnostics) entries back into
+    declaration order, interleaving orphan-signature warnings at their
+    source positions.
+
+    Shared by :meth:`Pipeline.assemble` (full results) and the batch
+    path's payload assembly (:mod:`repro.driver.batch`), so the two can
+    never drift apart — the byte-identity of cached and cold results
+    depends on them agreeing.
+    """
+    parsed = plan.parsed
+    bound_names = set(plan.defining_decl)
+    for index, decl in enumerate(parsed.module.decls):
+        if isinstance(decl, TypeSig) and decl.name not in bound_names:
+            result.diagnostics.append(Diagnostic(
+                "warning", "infer",
+                f"type signature for {decl.name!r} lacks a binding",
+                parsed.filename,
+                parsed.decl_spans.get(("sig", decl.name)), decl.name))
+            continue
+        entry = entries.get(index)
+        if entry is None:
+            continue
+        summary, diagnostics = entry
+        result.diagnostics.extend(diagnostics)
+        result.bindings.append(summary)
 
 
 # ---------------------------------------------------------------------------
@@ -406,33 +654,38 @@ class Session:
 
     def check_many(self, sources: Iterable[Tuple[str, str]],
                    jobs: Optional[int] = None,
-                   cache=None) -> List[CheckResult]:
+                   cache=None, stats=None) -> List[CheckResult]:
         """Batch API: check many ``(filename, source)`` programs per call.
 
         Reuses the cached prelude environment across programs — the
-        throughput benchmarks (``bench_e12``/``bench_e13``) and the CLI's
-        multi-file mode both call this.
+        throughput benchmarks (``bench_e12``/``bench_e13``/``bench_e15``)
+        and the CLI's multi-file mode both call this.
 
-        * ``jobs`` — fan the corpus out across that many worker processes
-          (each builds the prelude once and checks a whole shard); results
-          come back in input order regardless of completion order.
+        * ``jobs`` — fan the pending **units** out across that many worker
+          processes in dependency waves; results come back in input order
+          regardless of completion order.
         * ``cache`` — a path (or :class:`repro.driver.batch.ResultCache`)
-          keyed by the SHA-256 of each source text; unchanged programs are
-          answered from the cache without re-checking.
+          keyed per compilation unit by the unit's source slice plus the
+          schemes of its direct dependencies; editing one binding
+          re-checks only that binding's SCC and the dependents whose
+          dependency schemes actually changed.
+        * ``stats`` — a :class:`repro.driver.batch.CheckStats` collecting
+          per-unit timing and cache hit/miss counts (``--stats``).
 
-        With neither (the default) this is the plain in-process loop and
-        results carry full schemes/parse trees.  With ``jobs > 1`` or a
-        cache the results are the slim payload form (rendered schemes and
-        diagnostics preserved; ``scheme``/``parsed``/``env`` are ``None``)
-        — see :mod:`repro.driver.batch`.
+        With none of them (the default) this is the plain in-process loop
+        and results carry full schemes/parse trees.  Otherwise the results
+        are the slim payload form (rendered schemes and diagnostics
+        preserved; ``scheme``/``parsed``/``env`` are ``None``) — see
+        :mod:`repro.driver.batch`.
         """
-        if (jobs is None or jobs <= 1) and cache is None:
+        if (jobs is None or jobs <= 1) and cache is None and stats is None:
             return [self.pipeline.check(source, filename)
                     for filename, source in sources]
         from .batch import check_many_sharded
 
         return check_many_sharded(sources, self.options,
-                                  jobs=jobs or 1, cache=cache, session=self)
+                                  jobs=jobs or 1, cache=cache, session=self,
+                                  stats=stats)
 
     def run(self, source: str, filename: str = "<input>",
             entry: str = "main") -> RunResult:
@@ -589,33 +842,45 @@ class Session:
         if stripped.startswith(":"):
             return f"unknown command {stripped.split()[0]!r} " \
                    "(try :t expr, :q)"
-        as_decl = self._try_parse_decl(stripped)
-        if as_decl is not None:
+        as_decls = self._try_parse_decls(stripped)
+        if as_decls:
             # Use the stripped line: pasted indentation must not trip the
             # column-1 declaration rule when the module is re-assembled.
-            return self._repl_add_decl(stripped, as_decl)
+            return self._repl_add_decls(stripped, as_decls)
         return self._repl_eval(stripped)
 
     @staticmethod
-    def _try_parse_decl(line: str):
+    def _try_parse_decls(text: str):
+        """Parse REPL input as declarations; supports ``:load``-style
+        multi-declaration pastes (several column-1 decls separated by
+        newlines)."""
         try:
-            parsed = parse_module(line, "<repl>")
+            parsed = parse_module(text, "<repl>")
         except ParseError:
             return None
-        return parsed.module.decls[-1] if parsed.module.decls else None
+        return list(parsed.module.decls) or None
 
-    def _repl_add_decl(self, line: str, added) -> str:
-        candidate = self._repl_decls + [line.rstrip()]
+    def _repl_add_decls(self, text: str, added) -> str:
+        candidate = self._repl_decls + [text.rstrip()]
         check = self.pipeline.check("\n".join(candidate) + "\n", "<repl>")
         if not check.ok:
             return "\n".join(d.pretty() for d in check.errors)
         self._repl_decls = candidate
         self._repl_check = check
-        if isinstance(added, FunBind):
+        # Report the (re)defined bindings.  Redefinition is last-wins and —
+        # because checking is dependency-ordered — earlier dependents have
+        # already been re-checked against the *new* scheme by this point.
+        names: List[str] = []
+        for decl in added:
+            if isinstance(decl, FunBind) and decl.name not in names:
+                names.append(decl.name)
+        lines = []
+        for name in names:
             for binding in reversed(check.bindings):
-                if binding.name == added.name:
-                    return f"{binding.name} :: {binding.rendered}"
-        return "defined."
+                if binding.name == name:
+                    lines.append(f"{binding.name} :: {binding.rendered}")
+                    break
+        return "\n".join(lines) if lines else "defined."
 
     def _repl_env(self) -> Optional[CheckResult]:
         return self._repl_check if self._repl_decls else None

@@ -56,7 +56,7 @@ carrying a 1-based line/column position.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..core.errors import ParseError
 from ..core.kinds import (
@@ -114,7 +114,7 @@ from ..surface.types import (
     TyVar,
     UnboxedTupleTy,
 )
-from .lexer import RESERVED_SYMBOLS, Span, Token, tokenize
+from .lexer import RESERVED_SYMBOLS, SYMBOL_CHARS, Span, Token, tokenize
 
 #: Names of the nullary representation constructors.
 REP_CONSTANTS: Dict[str, Rep] = {
@@ -174,6 +174,15 @@ class ParsedModule:
     decl_spans: Dict[Tuple[str, str], Span] = field(default_factory=dict)
     #: Spans of expression nodes, keyed by id(node) (nodes are not interned).
     expr_spans: Dict[int, Span] = field(default_factory=dict)
+    #: Span of every declaration instance, parallel to ``module.decls``
+    #: (unlike ``decl_spans`` this keeps duplicates: the dependency planner
+    #: needs the source slice of *each* declaration).
+    decl_span_list: List[Span] = field(default_factory=list)
+    #: Optional memoised free-variable references per declaration (parallel
+    #: to ``module.decls``; None entries for non-bindings).  Filled by the
+    #: incremental parser so the dependency planner need not re-walk
+    #: unchanged ASTs; ``None`` as a whole means "compute on demand".
+    decl_refs: Optional[List[Optional[FrozenSet[str]]]] = None
 
     def span_of_binding(self, name: str) -> Optional[Span]:
         """Best span for diagnostics about the binding ``name``."""
@@ -274,6 +283,7 @@ class Parser:
     def parse_module(self, name: str = "Main") -> ParsedModule:
         decls: List[Decl] = []
         decl_spans: Dict[Tuple[str, str], Span] = {}
+        decl_span_list: List[Span] = []
         while not self._at_eof():
             token = self._peek()
             if token.kind == "semi":
@@ -285,10 +295,11 @@ class Parser:
                     f"(found {token.text!r} at column {token.column})")
             decl, span = self._parse_decl()
             decls.append(decl)
+            decl_span_list.append(span)
             key = ("sig" if isinstance(decl, TypeSig) else "bind", decl.name)
             decl_spans.setdefault(key, span)
         parsed = ParsedModule(Module(name, decls), self.filename, self.source,
-                              decl_spans, self.expr_spans)
+                              decl_spans, self.expr_spans, decl_span_list)
         return parsed
 
     def _parse_decl(self) -> Tuple[Decl, Span]:
@@ -835,6 +846,213 @@ class Parser:
         self._expect_symbol("->")
         rhs = self.parse_expr()
         return Alternative(constructor, binders, rhs)
+
+
+# ---------------------------------------------------------------------------
+# Incremental (block-memoised) module parsing
+# ---------------------------------------------------------------------------
+#
+# The binding-level driver re-parses a module on every incremental check to
+# re-derive the dependency plan.  Since a token in column 1 always begins a
+# new top-level declaration, a module splits into independent *declaration
+# blocks* with a cheap line scanner; each block's parse depends only on the
+# block's own text, so a session can memoise block parses and re-lex/parse
+# only the blocks that actually changed.  Spans inside a memoised block are
+# stored block-relative and re-based by line offset on assembly.
+
+
+#: Memoised block parses are dropped wholesale past this many entries
+#: (a simple bound; block texts are small but sessions are long-lived).
+_BLOCK_MEMO_LIMIT = 65536
+
+
+@dataclass(frozen=True)
+class _BlockParse:
+    """The (block-relative) parse of one declaration block."""
+
+    decls: Tuple[Decl, ...]
+    decl_span_list: Tuple[Span, ...]
+    expr_spans: Dict[int, Span]
+    #: Free-variable references per decl (None for type signatures) —
+    #: computed once so the dependency planner skips the AST walk.
+    refs: Tuple[Optional[FrozenSet[str]], ...] = ()
+    #: (message-without-position-prefix, line, column) when the block does
+    #: not parse; memoising failures keeps erroring files cheap too.
+    error: Optional[Tuple[str, int, int]] = None
+
+
+def _line_starts_decl(line: str, depth: int) -> bool:
+    """Does this line put a token in column 1 (i.e. start a declaration)?
+
+    Mirrors the lexer: inside a block comment nothing starts; a line
+    comment (``--`` not followed by another symbol character) and a block
+    comment opener are trivia, not tokens.
+    """
+    if depth > 0 or not line or line[0] in " \t\r":
+        return False
+    if line.startswith("{-"):
+        return False
+    if line.startswith("--"):
+        after = line[2:3]
+        if not after or after not in SYMBOL_CHARS - {"-"}:
+            return False
+    return True
+
+
+def _scan_line_trivia(line: str, depth: int) -> int:
+    """Advance the block-comment depth across one line.
+
+    Replicates exactly the lexer's trivia rules: nested ``{- -}`` comments
+    (inside which nothing else is special), ``--`` line comments, string
+    literals and character literals (primes inside identifiers are *not*
+    character-literal openers).
+    """
+    i, n = 0, len(line)
+    prev_name_char = False
+    while i < n:
+        ch = line[i]
+        if depth:
+            if ch == "{" and line[i + 1:i + 2] == "-":
+                depth += 1
+                i += 2
+            elif ch == "-" and line[i + 1:i + 2] == "}":
+                depth -= 1
+                i += 2
+            else:
+                i += 1
+            continue
+        if ch == '"':
+            i += 1
+            while i < n and line[i] != '"':
+                i += 2 if line[i] == "\\" else 1
+            i += 1
+            prev_name_char = False
+            continue
+        if ch == "'" and not prev_name_char:
+            j = i + 1
+            if line[j:j + 1] == "\\":
+                j += 2
+            elif j < n:
+                j += 1
+            i = j + 1 if line[j:j + 1] == "'" else i + 1
+            prev_name_char = False
+            continue
+        if ch == "-" and line[i + 1:i + 2] == "-":
+            after = line[i + 2:i + 3]
+            if not after or after not in SYMBOL_CHARS - {"-"}:
+                break  # line comment: the rest of the line is trivia
+            i += 1
+            prev_name_char = False
+            continue
+        if ch == "{" and line[i + 1:i + 2] == "-":
+            depth += 1
+            i += 2
+            prev_name_char = False
+            continue
+        prev_name_char = ch.isalnum() or ch in "_'#"
+        i += 1
+    return depth
+
+
+def split_decl_blocks(source: str) -> List[Tuple[int, str]]:
+    """Split a module into ``(start_line, text)`` declaration blocks.
+
+    Block boundaries are the lines that put a token in column 1; trivia
+    before the first declaration forms a preamble block of its own.  The
+    concatenation of all block texts (newline-joined) is the source.
+    """
+    lines = source.split("\n")
+    starts: List[int] = []
+    depth = 0
+    for index, line in enumerate(lines):
+        if _line_starts_decl(line, depth):
+            starts.append(index)
+        depth = _scan_line_trivia(line, depth)
+    if not starts or starts[0] != 0:
+        starts.insert(0, 0)
+    blocks: List[Tuple[int, str]] = []
+    for position, start in enumerate(starts):
+        stop = starts[position + 1] if position + 1 < len(starts) \
+            else len(lines)
+        blocks.append((start + 1, "\n".join(lines[start:stop])))
+    return blocks
+
+
+def _parse_block(text: str) -> _BlockParse:
+    parser = Parser(text, "<block>")
+    try:
+        parsed = parser.parse_module()
+    except ParseError as exc:
+        message = str(exc)
+        prefix = f"{exc.line}:{exc.column}: "
+        if message.startswith(prefix):
+            message = message[len(prefix):]
+        return _BlockParse((), (), {}, (),
+                           (message, exc.line, exc.column))
+    refs = tuple(
+        decl.rhs.free_vars() - frozenset(decl.params)
+        if isinstance(decl, FunBind) else None
+        for decl in parsed.module.decls)
+    return _BlockParse(tuple(parsed.module.decls),
+                       tuple(parsed.decl_span_list),
+                       dict(parsed.expr_spans), refs)
+
+
+def _shift_span(span: Span, delta: int) -> Span:
+    if delta == 0:
+        return span
+    return Span(span.line + delta, span.column,
+                span.end_line + delta, span.end_column)
+
+
+def parse_module_incremental(source: str, filename: str = "<input>",
+                             name: str = "Main",
+                             memo: Optional[Dict[str, _BlockParse]] = None
+                             ) -> ParsedModule:
+    """Parse a module block by block, reusing memoised block parses.
+
+    Produces exactly what :func:`parse_module` produces (same declaration
+    order, spans, expression-span table), but a block whose text is
+    already in ``memo`` skips lexing and parsing entirely — the payoff
+    that makes warm incremental re-checks parse only the edited bindings.
+    """
+    decls: List[Decl] = []
+    decl_spans: Dict[Tuple[str, str], Span] = {}
+    expr_spans: Dict[int, Span] = {}
+    decl_span_list: List[Span] = []
+    decl_refs: List[Optional[FrozenSet[str]]] = []
+    used_blocks: set = set()
+    for start_line, text in split_decl_blocks(source):
+        block = memo.get(text) if memo is not None else None
+        if block is None:
+            block = _parse_block(text)
+            if memo is not None:
+                if len(memo) >= _BLOCK_MEMO_LIMIT:
+                    memo.clear()
+                memo[text] = block
+        if id(block) in used_blocks:
+            # The same block text occurs twice in one module (duplicate
+            # definitions).  Sharing the memoised AST would collide the
+            # id()-keyed expression spans — the second occurrence would
+            # overwrite the first's positions — so duplicates get fresh
+            # nodes.
+            block = _parse_block(text)
+        used_blocks.add(id(block))
+        delta = start_line - 1
+        if block.error is not None:
+            message, line, column = block.error
+            raise ParseError(message, line + delta if line else line, column)
+        for decl, span in zip(block.decls, block.decl_span_list):
+            absolute = _shift_span(span, delta)
+            decls.append(decl)
+            decl_span_list.append(absolute)
+            key = ("sig" if isinstance(decl, TypeSig) else "bind", decl.name)
+            decl_spans.setdefault(key, absolute)
+        decl_refs.extend(block.refs)
+        for node_id, span in block.expr_spans.items():
+            expr_spans[node_id] = _shift_span(span, delta)
+    return ParsedModule(Module(name, decls), filename, source,
+                        decl_spans, expr_spans, decl_span_list, decl_refs)
 
 
 # ---------------------------------------------------------------------------

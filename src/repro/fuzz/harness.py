@@ -200,16 +200,20 @@ class DifferentialHarness:
 
     def run_corpus(self, programs: Sequence[GenProgram],
                    jobs: Optional[int] = None,
-                   cache=None) -> FuzzReport:
+                   cache=None, stats=None) -> FuzzReport:
         """Check a whole corpus; ``jobs``/``cache`` shard the type-check pass
-        through :meth:`Session.check_many` (the run/roundtrip oracles are
-        inherently in-process)."""
+        through :meth:`Session.check_many` — at binding granularity, so a
+        re-fuzz over a mostly-unchanged corpus re-checks only the bindings
+        that actually changed (``stats`` observes the unit cache exactly as
+        ``repro check --stats`` does).  The run/roundtrip oracles are
+        inherently in-process."""
         report = FuzzReport()
         checks: List[Optional[CheckResult]]
-        if jobs is not None and jobs > 1 or cache is not None:
+        if jobs is not None and jobs > 1 or cache is not None \
+                or stats is not None:
             checks = list(self.session.check_many(
                 [(program.filename, program.source) for program in programs],
-                jobs=jobs, cache=cache))
+                jobs=jobs, cache=cache, stats=stats))
         else:
             checks = [None] * len(programs)
         for program, check in zip(programs, checks):

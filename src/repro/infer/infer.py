@@ -154,7 +154,7 @@ class Inferencer:
     """The type-inference engine."""
 
     def __init__(self, options: Optional[InferOptions] = None,
-                 class_env=None) -> None:
+                 class_env=None, spans=None) -> None:
         self.options = options or InferOptions()
         self.state = UnifierState()
         self.records: List[LevityRecord] = []
@@ -165,8 +165,29 @@ class Inferencer:
         #: ``method_schemes(class_decl)`` when class/instance declarations or
         #: class constraints are used.
         self.class_env = class_env
+        #: Optional mapping ``id(expr) -> Span`` (the frontend's
+        #: ``ParsedModule.expr_spans``).  When present, scope errors,
+        #: unification failures and levity violations are stamped with the
+        #: span of the offending *sub-expression* instead of leaving the
+        #: caller to fall back to the whole binding.
+        self.spans = spans
 
     # ------------------------------------------------------------------ utils
+
+    def _span(self, expr: Expr):
+        if self.spans is None:
+            return None
+        return self.spans.get(id(expr))
+
+    def _unify_at(self, expr: Optional[Expr], actual: SType,
+                  expected: SType) -> None:
+        """Unify, attaching ``expr``'s span to any failure that has none."""
+        try:
+            self.state.unify_types(actual, expected)
+        except TypeCheckError as exc:
+            if exc.span is None and expr is not None:
+                exc.span = self._span(expr)
+            raise
 
     def instantiate(self, scheme: Scheme) -> Tuple[List[ClassConstraint], SType]:
         """Replace quantified variables by fresh unification variables."""
@@ -184,11 +205,14 @@ class Inferencer:
             for c in scheme.constraints]
         return constraints, body
 
-    def record_binder(self, type_: SType, description: str) -> None:
-        self.records.append(LevityRecord("binder", description, type_))
+    def record_binder(self, type_: SType, description: str,
+                      span=None) -> None:
+        self.records.append(LevityRecord("binder", description, type_, span))
 
-    def record_argument(self, type_: SType, description: str) -> None:
-        self.records.append(LevityRecord("argument", description, type_))
+    def record_argument(self, type_: SType, description: str,
+                        span=None) -> None:
+        self.records.append(LevityRecord("argument", description, type_,
+                                         span))
 
     # ------------------------------------------------------------- expressions
 
@@ -198,7 +222,9 @@ class Inferencer:
         if isinstance(expr, EVar):
             scheme = env.lookup(expr.name)
             if scheme is None:
-                raise ScopeError(_not_in_scope(expr.name, env))
+                error = ScopeError(_not_in_scope(expr.name, env))
+                error.span = self._span(expr)
+                raise error
             constraints, type_ = self.instantiate(scheme)
             return type_, constraints
 
@@ -221,11 +247,12 @@ class Inferencer:
                                                              expr.argument)
             constraints = constraints + argument_constraints
             result_type = self.state.fresh_type_uvar()
-            self.state.unify_types(function_type,
-                                   FunTy(argument_type, result_type))
+            self._unify_at(expr, function_type,
+                           FunTy(argument_type, result_type))
             self.record_argument(
                 argument_type,
-                f"argument {expr.argument.pretty()!r} of an application")
+                f"argument {expr.argument.pretty()!r} of an application",
+                self._span(expr.argument) or self._span(expr))
             return result_type, constraints
 
         if isinstance(expr, ELam):
@@ -234,7 +261,8 @@ class Inferencer:
             else:
                 binder_type = self.state.fresh_type_uvar()
             self.record_binder(binder_type,
-                               f"lambda binder {expr.var!r}")
+                               f"lambda binder {expr.var!r}",
+                               self._span(expr))
             body_env = env.bind(expr.var, Scheme.monomorphic(binder_type))
             body_type, constraints = self.infer(body_env, expr.body)
             return FunTy(binder_type, body_type), constraints
@@ -247,10 +275,10 @@ class Inferencer:
 
         if isinstance(expr, EIf):
             condition_type, constraints = self.infer(env, expr.condition)
-            self.state.unify_types(condition_type, BOOL_TY)
+            self._unify_at(expr.condition, condition_type, BOOL_TY)
             then_type, then_constraints = self.infer(env, expr.consequent)
             else_type, else_constraints = self.infer(env, expr.alternative)
-            self.state.unify_types(then_type, else_type)
+            self._unify_at(expr.alternative, then_type, else_type)
             return then_type, constraints + then_constraints + else_constraints
 
         if isinstance(expr, EAnn):
@@ -289,7 +317,7 @@ class Inferencer:
             finally:
                 self.givens = previous_givens
         actual, constraints = self.infer(env, expr)
-        self.state.unify_types(actual, expected)
+        self._unify_at(expr, actual, expected)
         return constraints
 
     # ------------------------------------------------------------------ case
@@ -299,12 +327,17 @@ class Inferencer:
         scrutinee_type, constraints = self.infer(env, expr.scrutinee)
         result_type = self.state.fresh_type_uvar()
         for alternative in expr.alternatives:
-            alt_env, alt_constraints = self._bind_pattern(env, alternative,
-                                                          scrutinee_type)
+            try:
+                alt_env, alt_constraints = self._bind_pattern(
+                    env, alternative, scrutinee_type)
+            except TypeCheckError as exc:
+                if exc.span is None:
+                    exc.span = self._span(expr.scrutinee) or self._span(expr)
+                raise
             constraints.extend(alt_constraints)
             rhs_type, rhs_constraints = self.infer(alt_env, alternative.rhs)
             constraints.extend(rhs_constraints)
-            self.state.unify_types(rhs_type, result_type)
+            self._unify_at(alternative.rhs, rhs_type, result_type)
         return result_type, constraints
 
     def _bind_pattern(self, env: TypeEnv, alternative: Alternative,

@@ -18,6 +18,7 @@ complete" and gives far better error messages than failing mid-unification.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -35,6 +36,9 @@ class LevityRecord:
     kind_of_site: str      # "binder" or "argument"
     description: str       # e.g. "lambda binder 'x' in 'abs2'"
     type: SType
+    #: Source span of the recorded site (the sub-expression, when the
+    #: inference engine had one on record), threaded onto any violation.
+    span: Optional[object] = None
 
 
 @dataclass
@@ -84,11 +88,18 @@ def check_records(state: UnifierState,
             # binder violation so the caller sees a single failure channel.
             report.violations.append(
                 LevityViolation(record.kind_of_site,
-                                f"{record.description}: {exc}", None))
+                                f"{record.description}: {exc}", None,
+                                record.span))
             continue
+        seen = len(checker.violations)
         if record.kind_of_site == "binder":
             checker.check_binder(kind, record.description)
         else:
             checker.check_argument(kind, record.description)
+        if record.span is not None:
+            # Stamp this record's span onto the violations it produced.
+            checker.violations[seen:] = [
+                dataclasses.replace(violation, span=record.span)
+                for violation in checker.violations[seen:]]
     report.violations.extend(checker.violations)
     return report

@@ -36,6 +36,10 @@ main = {i} + 1
     return corpus
 
 
+#: Each corpus program has two independent bindings = two check units.
+UNITS_PER_PROGRAM = 2
+
+
 class TestSharding:
     def test_output_order_matches_input_order(self):
         corpus = make_corpus(11)  # odd count: shards are uneven
@@ -94,20 +98,27 @@ class TestIncrementalCache:
         cold = session.check_many(corpus, cache=path)
         warm_cache = ResultCache(path)
         warm = session.check_many(corpus, cache=warm_cache)
-        assert warm_cache.hits == len(corpus)
-        assert warm_cache.misses == 0
+        # Unchanged files short-circuit on their whole-file entry; the
+        # unit layer is never consulted.
+        assert warm_cache.file_hits == len(corpus)
+        assert warm_cache.hits == 0 and warm_cache.misses == 0
         assert [payload_bytes(result_to_payload(r)) for r in cold] == \
             [payload_bytes(result_to_payload(r)) for r in warm]
 
-    def test_editing_one_source_invalidates_exactly_one_entry(self, tmp_path):
+    def test_editing_one_binding_invalidates_exactly_one_unit(self, tmp_path):
         corpus = make_corpus(6)
         path = str(tmp_path / "cache.json")
         Session().check_many(corpus, cache=path)
         filename, source = corpus[4]
+        # Edit the body of 'main' in one program: only that binding's unit
+        # misses — the sibling 'add4' and every other program stay hits.
         corpus[4] = (filename, source.replace("+ 1", "+ 2"))
         cache = ResultCache(path)
         results = Session().check_many(corpus, cache=cache)
-        assert cache.hits == 5 and cache.misses == 1
+        # The edited file drops to the unit layer: its 'main' misses, its
+        # untouched 'add4' unit hits; every other file short-circuits.
+        assert cache.file_hits == len(corpus) - 1
+        assert cache.misses == 1 and cache.hits == 1
         assert all(r.ok for r in results)
 
     def test_renamed_file_reuses_cached_result_with_new_name(self, tmp_path):
@@ -118,7 +129,7 @@ class TestIncrementalCache:
                    for i, (_, source) in enumerate(corpus)]
         cache = ResultCache(path)
         results = Session().check_many(renamed, cache=cache)
-        assert cache.hits == 3
+        assert cache.file_hits == 3   # keys never include the filename
         assert [r.filename for r in results] == [fn for fn, _ in renamed]
 
     def test_failing_results_are_cached_too(self, tmp_path):
@@ -127,7 +138,7 @@ class TestIncrementalCache:
         cold = Session().check_many(corpus, cache=path)
         cache = ResultCache(path)
         warm = Session().check_many(corpus, cache=cache)
-        assert cache.hits == 1
+        assert cache.file_hits == 1
         assert not warm[0].ok
         assert [d.pretty() for d in warm[0].diagnostics] == \
             [d.pretty() for d in cold[0].diagnostics]
@@ -145,9 +156,10 @@ class TestIncrementalCache:
             handle.write("{ not json")
         results = Session().check_many(make_corpus(2), cache=path)
         assert all(r.ok for r in results)
-        # The save rewrote it as a valid cache.
+        # The save rewrote it as a valid cache: one entry per unit plus a
+        # whole-file short-circuit entry per program.
         reloaded = ResultCache(path)
-        assert len(reloaded.entries) == 2
+        assert len(reloaded.entries) == 2 * UNITS_PER_PROGRAM + 2
 
     def test_malformed_cache_entry_is_a_miss(self, tmp_path):
         import json
@@ -157,18 +169,28 @@ class TestIncrementalCache:
         Session().check_many(corpus, cache=path)
         with open(path) as handle:
             document = json.load(handle)
-        key = sorted(document["entries"])[0]
-        document["entries"][key] = {}  # truncated/hand-edited entry
+        # Truncate every whole-file entry plus one unit entry: the files
+        # drop to the unit layer, where the bad unit is a miss.
+        unit_keys = sorted(k for k, v in document["entries"].items()
+                           if "members" in v)
+        corrupted = unit_keys[0]
+        for key, value in document["entries"].items():
+            if "members" not in value:
+                document["entries"][key] = {}
+        document["entries"][corrupted] = {}
         with open(path, "w") as handle:
             json.dump(document, handle)
         cache = ResultCache(path)
         results = Session().check_many(corpus, cache=cache)
         assert all(r.ok for r in results)
-        # The counters are truthful: the bad entry counted as a miss.
-        assert cache.hits == 1 and cache.misses == 1
-        # The re-check repaired the entry.
+        # The counters are truthful: the bad unit entry counted as a miss.
+        assert cache.file_hits == 0
+        assert cache.hits == 2 * UNITS_PER_PROGRAM - 1
+        assert cache.misses == 1
+        # The re-check repaired the entries.
         repaired = ResultCache(path)
-        assert repaired.entries[key] != {}
+        assert repaired.entries[corrupted] != {}
+        assert all(value != {} for value in repaired.entries.values())
 
     def test_run_only_options_do_not_invalidate_the_cache(self, tmp_path):
         # max_machine_steps never affects Pipeline.check, so changing it
@@ -180,7 +202,8 @@ class TestIncrementalCache:
         cache = ResultCache(path)
         Session(DriverOptions(max_machine_steps=5)).check_many(
             corpus, cache=cache)
-        assert cache.hits == 3 and cache.misses == 0
+        assert cache.file_hits == 3
+        assert cache.misses == 0
 
 
 class TestPayloads:
@@ -228,3 +251,238 @@ class TestCli:
         assert "v0 :: Int" in out and "v2 :: Int" in out
         # Warm re-run through the CLI exits cleanly too.
         assert main(["check", "--jobs", "2", "--cache", cache, *files]) == 0
+
+
+# ---------------------------------------------------------------------------
+# Binding-level incrementality
+# ---------------------------------------------------------------------------
+
+
+DEP_MODULE = """\
+base :: Int# -> Int#
+base x = x +# 1#
+
+mid = base 1#
+
+top = mid +# 2#
+
+lone :: Int#
+lone = 7#
+"""
+
+
+class TestBindingLevelInvalidation:
+    def test_editing_one_binding_rechecks_only_its_dependents(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        Session().check_many([("dep.lev", DEP_MODULE)], cache=path)
+        # Change mid's *scheme* (Int# -> Int): top must re-check, but
+        # 'base' and 'lone' stay hits.
+        edited = DEP_MODULE.replace("mid = base 1#", "mid = 5")
+        cache = ResultCache(path)
+        results = Session().check_many([("dep.lev", edited)], cache=cache)
+        assert cache.misses == 2          # mid + its dependent top
+        assert cache.hits == 2            # base, lone untouched
+        assert not results[0].ok          # top now misuses a boxed Int
+
+    def test_early_cutoff_when_the_scheme_is_unchanged(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        Session().check_many([("dep.lev", DEP_MODULE)], cache=path)
+        # Edit base's *body* without changing its scheme: only base itself
+        # re-checks — its dependents' keys (source + dep schemes) are
+        # unchanged, so they hit.
+        edited = DEP_MODULE.replace("x +# 1#", "x +# 2#")
+        cache = ResultCache(path)
+        results = Session().check_many([("dep.lev", edited)], cache=cache)
+        assert cache.misses == 1 and cache.hits == 3
+        assert results[0].ok
+
+    def test_moved_binding_is_still_a_hit_with_rebased_spans(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        bad_tail = "tail' :: Int\ntail' = stillMissing\n"
+        source = "head' :: Int#\nhead' = 1#\n" + bad_tail
+        Session().check_many([("move.lev", source)], cache=path)
+        # Grow the first binding by two lines: the failing tail binding
+        # moves down but its unit text is unchanged — a cache hit whose
+        # diagnostic span must be re-based to the new absolute line.
+        grown = ("head' :: Int#\nhead' =\n  1#\n    +# 1#\n" + bad_tail)
+        cache = ResultCache(path)
+        results = Session().check_many([("move.lev", grown)], cache=cache)
+        assert cache.hits == 1 and cache.misses == 1  # head' changed
+        [diagnostic] = results[0].errors
+        assert diagnostic.binding == "tail'"
+        expected_line = grown.split("\n").index("tail' = stillMissing") + 1
+        assert diagnostic.span.line == expected_line
+        # And the cached result is byte-identical to a cold from-scratch
+        # check of the grown module (modulo nothing: including spans).
+        cold = Session().check(grown, "move.lev")
+        assert payload_bytes(result_to_payload(cold)) == \
+            payload_bytes(result_to_payload(results[0]))
+
+    def test_incremental_results_match_cold_full_pipeline(self, tmp_path):
+        """Slim cached results must be byte-identical to Pipeline.check."""
+        path = str(tmp_path / "cache.json")
+        session = Session()
+        session.check_many([("dep.lev", DEP_MODULE)], cache=path)
+        warm = session.check_many([("dep.lev", DEP_MODULE)],
+                                  cache=ResultCache(path))
+        cold = session.check(DEP_MODULE, "dep.lev")
+        assert payload_bytes(result_to_payload(cold)) == \
+            payload_bytes(result_to_payload(warm[0]))
+
+    def test_jobs_path_matches_serial_unit_path(self, tmp_path):
+        corpus = [("dep.lev", DEP_MODULE)] + make_corpus(5)
+        serial = Session().check_many(corpus, cache=str(tmp_path / "a.json"))
+        parallel = Session().check_many(corpus, jobs=2,
+                                        cache=str(tmp_path / "b.json"))
+        assert [payload_bytes(result_to_payload(r)) for r in serial] == \
+            [payload_bytes(result_to_payload(r)) for r in parallel]
+
+
+class TestStats:
+    def test_stats_report_units_and_cache_counters(self, tmp_path):
+        from repro.driver import CheckStats
+
+        path = str(tmp_path / "cache.json")
+        stats = CheckStats()
+        Session().check_many([("dep.lev", DEP_MODULE)], cache=path,
+                             stats=stats)
+        assert stats.files == 1
+        assert stats.units == 4 and stats.checked == 4
+        assert stats.cache_hits == 0 and stats.cache_misses == 4
+        warm = CheckStats()
+        Session().check_many([("dep.lev", DEP_MODULE)],
+                             cache=ResultCache(path), stats=warm)
+        # Fully warm: answered from the whole-file entry.
+        assert warm.file_hits == 1 and warm.checked == 0
+        assert "file hits: 1" in warm.pretty()
+        # Edit one binding: the file drops to the unit layer.
+        edited = DEP_MODULE.replace("lone = 7#", "lone = 8#")
+        partial = CheckStats()
+        Session().check_many([("dep.lev", edited)],
+                             cache=ResultCache(path), stats=partial)
+        assert partial.cache_hits == 3 and partial.cache_misses == 1
+        text = partial.pretty()
+        assert "cache hits: 3" in text and "units: 4" in text
+
+    def test_stats_without_cache_time_every_unit(self):
+        from repro.driver import CheckStats
+
+        stats = CheckStats()
+        results = Session().check_many([("dep.lev", DEP_MODULE)], stats=stats)
+        assert results[0].ok
+        assert stats.units == 4 and stats.checked == 4
+        assert all(t.seconds is not None for t in stats.timings)
+
+    def test_cli_stats_flag(self, tmp_path, capsys):
+        path = tmp_path / "stats.lev"
+        path.write_text(DEP_MODULE)
+        cache = str(tmp_path / "cache.json")
+        assert main(["check", "--cache", cache, "--stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "-- stats --" in out
+        assert "cache misses: 4" in out
+        assert main(["check", "--cache", cache, "--stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "file hits: 1" in out and "cache misses: 0" in out
+
+
+class TestAtomicCache:
+    def test_concurrent_saves_merge_instead_of_clobbering(self, tmp_path):
+        """Two runs sharing a --cache path must not lose each other's
+        entries: save() re-reads the file and merges before the atomic
+        replace."""
+        path = str(tmp_path / "shared.json")
+        one = ResultCache(path)
+        two = ResultCache(path)   # loaded before 'one' saves
+        Session().check_many(make_corpus(2), cache=one)
+        Session().check_many([("other.lev", "w :: Int#\nw = 3#\n")],
+                             cache=two)
+        # 'two' saved last but must still contain 'one's entries
+        # (per-unit and per-file entries both).
+        merged = ResultCache(path)
+        assert len(merged.entries) == (2 * UNITS_PER_PROGRAM + 2) + (1 + 1)
+
+    def test_failed_save_leaves_the_old_document_intact(self, tmp_path,
+                                                        monkeypatch):
+        import json as json_module
+
+        import repro.driver.batch as batch
+
+        path = str(tmp_path / "cache.json")
+        Session().check_many(make_corpus(1), cache=path)
+        before = open(path).read()
+        cache = ResultCache(path)
+        cache.store("deadbeef", {"members": []})
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(batch.json, "dump", explode)
+        try:
+            cache.save()
+        except RuntimeError:
+            pass
+        monkeypatch.setattr(batch.json, "dump", json_module.dump)
+        # The original document is untouched and still valid JSON...
+        assert open(path).read() == before
+        assert ResultCache(path).entries
+        # ...and no temp files leak.
+        leftovers = [n for n in os.listdir(tmp_path)
+                     if n.startswith(".repro-cache-")]
+        assert leftovers == []
+
+    def test_save_is_a_noop_when_nothing_changed(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        Session().check_many(make_corpus(1), cache=path)
+        stamp = os.stat(path).st_mtime_ns
+        warm = ResultCache(path)
+        Session().check_many(make_corpus(1), cache=warm)  # all hits
+        assert os.stat(path).st_mtime_ns == stamp
+
+
+class TestReviewRegressions:
+    def test_unit_entry_missing_fields_is_a_miss_not_a_crash(self, tmp_path):
+        """A truncated unit entry (span/scheme_src stripped) must degrade
+        to a cache miss, never a KeyError during assembly."""
+        import json
+
+        path = str(tmp_path / "cache.json")
+        Session().check_many([("dep.lev", DEP_MODULE)], cache=path)
+        with open(path) as handle:
+            document = json.load(handle)
+        for key, value in document["entries"].items():
+            if "members" in value:
+                for member in value["members"]:
+                    member.pop("scheme_src", None)
+                    member.pop("span", None)
+            else:
+                document["entries"][key] = {}  # drop the file short-circuit
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        cache = ResultCache(path)
+        results = Session().check_many([("dep.lev", DEP_MODULE)],
+                                       cache=cache)
+        assert results[0].ok
+        assert cache.hits == 0 and cache.misses == 4
+
+    def test_duplicate_identical_bindings_keep_their_own_spans(self):
+        # Two textually identical failing bindings: each diagnostic must
+        # point at its own occurrence, not both at the last one.
+        source = "a = mystery\n\nb :: Int#\nb = 1#\n\na = mystery\n"
+        check = Session().check(source, "dup.lev")
+        lines = sorted(d.span.line for d in check.errors)
+        assert lines == [1, 6]
+
+    def test_json_with_stats_keeps_stdout_machine_readable(self, tmp_path,
+                                                           capsys):
+        import json
+
+        path = tmp_path / "j.lev"
+        path.write_text(DEP_MODULE)
+        cache = str(tmp_path / "cache.json")
+        assert main(["check", "--json", "--stats", "--cache", cache,
+                     str(path)]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # stdout is one JSON document
+        assert payload[0]["ok"]
+        assert "-- stats --" in captured.err

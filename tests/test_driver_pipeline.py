@@ -294,3 +294,86 @@ class TestRepl:
         session.repl_input("b :: Int#")
         session.repl_input("b = a +# 1#")
         assert session.repl_input("b +# a") == "3#"
+
+
+# ---------------------------------------------------------------------------
+# REPL redefinition / shadowing (rides the unit-granularity pipeline)
+# ---------------------------------------------------------------------------
+
+
+class TestReplRedefinition:
+    def test_dependents_see_the_new_scheme_after_redefinition(self):
+        session = Session()
+        session.repl_input("a :: Int#")
+        session.repl_input("a = 1#")
+        session.repl_input("b = a +# 1#")
+        assert session.repl_input("b") == "2#"
+        # Redefine the dependency: references resolve last-wins, checking
+        # is dependency-ordered, so 'b' is re-checked against the new 'a'.
+        out = session.repl_input("a = 10#")
+        assert out == "a :: Int#"
+        assert session.repl_input("b") == "11#"
+
+    def test_redefinition_to_incompatible_type_reports_the_dependent(self):
+        session = Session()
+        session.repl_input("a = 1#")
+        session.repl_input("b = a +# 1#")
+        # 'a = True' would break dependent 'b'; the decl is rejected and
+        # NOT recorded, and the error names the dependent that broke.
+        out = session.repl_input("a = True")
+        assert "b" in out and "error" in out
+        assert session.repl_input("b") == "2#"  # old world still intact
+
+    def test_load_style_multi_decl_input(self):
+        session = Session()
+        out = session.repl_input(
+            "inc :: Int# -> Int#\ninc n = n +# 1#\ntwice x = inc (inc x)\n")
+        assert "inc :: Int# -> Int#" in out
+        assert "twice :: Int# -> Int#" in out
+        assert session.repl_input("twice 40#") == "42#"
+
+    def test_multi_decl_input_may_use_forward_references(self):
+        session = Session()
+        out = session.repl_input("first = second +# 1#\nsecond :: Int#\n"
+                                 "second = 1#")
+        assert "first :: Int#" in out
+        assert session.repl_input("first") == "2#"
+
+
+# ---------------------------------------------------------------------------
+# Caret snippets
+# ---------------------------------------------------------------------------
+
+
+class TestSnippets:
+    def test_caret_lands_on_the_offending_identifier(self):
+        # Pinned against the golden nested-scope reproducer: the caret
+        # must underline exactly 'missingName' deep inside the binding.
+        path = os.path.join(GOLDEN_DIR, "reject_nested_scope.lev")
+        source = _read(path)
+        check = Session().check(source, "reject_nested_scope.lev")
+        rendered = check.pretty(source=source)
+        lines = rendered.split("\n")
+        [code_at] = [i for i, line in enumerate(lines)
+                     if "let j = n -# 1# in missingName j" in line
+                     and "|" in line]
+        code_line, caret_line = lines[code_at], lines[code_at + 1]
+        gutter = code_line.index("|")
+        assert caret_line[:gutter + 1].strip() == "|"
+        start = caret_line.index("^")
+        width = len(caret_line) - start
+        code_body = code_line[start:start + width]
+        assert code_body == "missingName"
+        assert caret_line[start:] == "^" * len("missingName")
+
+    def test_snippet_omitted_without_source(self):
+        check = Session().check("g :: Int\ng = 3#\n", "nosrc.lev")
+        assert "^" not in check.pretty()
+        assert "^" in check.pretty(source="g :: Int\ng = 3#\n")
+
+    def test_cli_check_prints_snippets(self, capsys, tmp_path):
+        bad = tmp_path / "bad.lev"
+        bad.write_text("g :: Int\ng = unknownThing\n")
+        assert cli_main(["check", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "^" * len("unknownThing") in out

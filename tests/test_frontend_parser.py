@@ -319,3 +319,110 @@ class TestModules:
 
     def test_empty_module(self):
         assert parse_module("-- nothing here\n").module.decls == ()
+
+
+# ---------------------------------------------------------------------------
+# Incremental (block-memoised) parsing equivalence
+# ---------------------------------------------------------------------------
+
+
+class TestIncrementalParsing:
+    """parse_module_incremental must be observably identical to
+    parse_module — same decls, same spans, same expression-span table —
+    with or without a warm memo."""
+
+    CASES = [
+        "f :: Int#\nf = 1#\n",
+        # leading comments, blank lines, trailing trivia
+        "-- leading comment\n\nf = 1#\n\n-- trailing\n",
+        # a block comment spanning lines with column-1 text inside it
+        "a = 1#\n{- not\na decl\n-}\nb = 2#\n",
+        # nested block comments
+        "{- outer {- inner -} still -}\nc :: Int#\nc = 3#\n",
+        # string containing comment openers and a column-1-looking quote
+        's = "{- not a comment -} -- nor this"\n',
+        # char literals and primes in identifiers
+        "tail' :: Int# -> Int#\ntail' x = x\nch = 'a'\nesc = '\\n'\n",
+        # multi-line declarations (continuation lines indented)
+        "long :: Int#\nlong =\n  1#\n    +# 2#\n\nnext = long\n",
+        # operators at column 1 via section declaration form
+        "(+!) :: Int# -> Int# -> Int#\n(+!) x y = x +# y\n",
+        # duplicate definitions (last wins, both parsed)
+        "v = 1#\nv = 2#\n",
+        # *identical* duplicate blocks: the memo must not share AST nodes
+        # within one module (expression spans are id()-keyed)
+        "w = 1#\nw = 1#\n",
+    ]
+
+    @staticmethod
+    def _observables(parsed):
+        return (
+            parsed.module.pretty(),
+            [type(d).__name__ for d in parsed.module.decls],
+            parsed.decl_span_list,
+            dict(parsed.decl_spans),
+            sorted(parsed.expr_spans.values(),
+                   key=lambda s: (s.line, s.column, s.end_line, s.end_column)),
+        )
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_matches_whole_module_parse(self, source):
+        from repro.frontend.parser import parse_module_incremental
+
+        memo = {}
+        whole = parse_module(source, "case.lev")
+        cold = parse_module_incremental(source, "case.lev", memo=memo)
+        warm = parse_module_incremental(source, "case.lev", memo=memo)
+        for incremental in (cold, warm):
+            assert self._observables(incremental) == self._observables(whole)
+
+    def test_examples_and_golden_corpora_match(self):
+        import glob
+        import os
+
+        from repro.frontend.parser import parse_module_incremental
+
+        here = os.path.dirname(os.path.abspath(__file__))
+        paths = sorted(
+            glob.glob(os.path.join(here, "golden", "**", "*.lev"),
+                      recursive=True)
+            + glob.glob(os.path.join(here, os.pardir, "examples", "*.lev")))
+        assert paths
+        memo = {}
+        for path in paths:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            try:
+                whole = parse_module(source, path)
+            except ParseError as exc:
+                with pytest.raises(ParseError) as caught:
+                    parse_module_incremental(source, path, memo=memo)
+                assert str(caught.value) == str(exc)
+                continue
+            incremental = parse_module_incremental(source, path, memo=memo)
+            assert self._observables(incremental) == self._observables(whole)
+
+    def test_memoised_blocks_skip_reparsing(self):
+        from repro.frontend.parser import parse_module_incremental
+
+        memo = {}
+        parse_module_incremental("a = 1#\n\nb = a\n", memo=memo)
+        blocks_before = set(memo)
+        # Editing 'b' must only add the new b-block to the memo.
+        parse_module_incremental("a = 1#\n\nb = a +# 1#\n", memo=memo)
+        added = set(memo) - blocks_before
+        assert added == {"b = a +# 1#\n"}
+
+    def test_parse_error_positions_are_absolute(self):
+        from repro.frontend.parser import parse_module_incremental
+
+        source = "fine = 1#\n\nbroken = \n"
+        with pytest.raises(ParseError) as exc:
+            parse_module_incremental(source, "err.lev", memo={})
+        whole_error = None
+        try:
+            parse_module(source, "err.lev")
+        except ParseError as caught:
+            whole_error = caught
+        assert (exc.value.line, exc.value.column) == \
+            (whole_error.line, whole_error.column)
