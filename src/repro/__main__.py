@@ -11,9 +11,12 @@ Subcommands:
   binding's source slice and the schemes of the bindings it uses, so one
   edit re-checks only its dependents); ``--stats`` prints per-binding
   timings and cache hit/miss counts.
-* ``run file.lev`` — check, then evaluate ``--entry`` (default ``main``)
-  on the cost-model machine; when the entry fits the L fragment it is also
-  compiled via Figure 7 and cross-checked on the M machine.
+* ``run file.lev [...]`` — check, then evaluate ``--entry`` (default
+  ``main``) on the cost-model machine; when the entry fits the L fragment
+  it is also compiled via Figure 7 and cross-checked on the M machine.
+  ``--compiled`` evaluates through the closure-compilation backend
+  instead of the tree-walker; with ``--cache PATH`` the generated code is
+  reused per binding (a warm run reports zero functions compiled).
 * ``compile file.lev`` — check, lower the entry to the calculus L, compile
   to the machine language M, show the code, and run it.
 * ``repl`` — a small read-eval-print loop (declarations accumulate;
@@ -63,7 +66,8 @@ def _read_source(path: str) -> str:
 def _options(args: argparse.Namespace) -> DriverOptions:
     return DriverOptions(
         explicit_runtime_reps=getattr(args, "explicit_reps", False),
-        run_levity_check=not getattr(args, "no_levity_check", False))
+        run_levity_check=not getattr(args, "no_levity_check", False),
+        compiled=getattr(args, "compiled", False))
 
 
 def _check_json(results) -> str:
@@ -113,10 +117,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     session = Session(_options(args))
-    result = session.run(_read_source(args.file), args.file,
-                         entry=args.entry)
-    print(result.pretty())
-    return 0 if result.ok else 1
+    ok = True
+    for path in args.files:
+        result = session.run(_read_source(path), path, entry=args.entry,
+                             cache=args.cache)
+        print(result.pretty())
+        ok = ok and result.ok
+    return 0 if ok else 1
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
@@ -233,9 +240,17 @@ def build_parser() -> argparse.ArgumentParser:
     check.set_defaults(func=_cmd_check)
 
     run = sub.add_parser("run", help="check then evaluate an entry point")
-    run.add_argument("file", help=".lev source file")
+    run.add_argument("files", nargs="+", help=".lev source files")
     run.add_argument("--entry", default="main",
                      help="entry binding to evaluate (default: main)")
+    run.add_argument("--compiled", action="store_true",
+                     help="evaluate through the closure-compilation "
+                          "backend (docs/PERF.md) instead of the "
+                          "tree-walker")
+    run.add_argument("--cache", default=None, metavar="PATH",
+                     help="with --compiled: per-binding codegen cache "
+                          "(shares the check cache document); a warm run "
+                          "reports zero functions compiled")
     run.add_argument("--explicit-reps", action="store_true")
     run.add_argument("--no-levity-check", action="store_true")
     run.set_defaults(func=_cmd_run)
@@ -249,6 +264,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     repl = sub.add_parser("repl", help="interactive read-eval-print loop")
     repl.add_argument("--explicit-reps", action="store_true")
+    repl.add_argument("--compiled", action="store_true",
+                      help="evaluate expressions through the closure-"
+                           "compilation backend")
     repl.set_defaults(func=_cmd_repl)
 
     fuzz = sub.add_parser(
@@ -283,6 +301,9 @@ def build_parser() -> argparse.ArgumentParser:
                            ".lev reproducer under DIR")
     fuzz.add_argument("--explicit-reps", action="store_true")
     fuzz.add_argument("--no-levity-check", action="store_true")
+    fuzz.add_argument("--compiled", action="store_true",
+                      help="run the evaluator oracle through the closure-"
+                           "compilation backend")
     fuzz.set_defaults(func=_cmd_fuzz)
 
     return parser

@@ -72,16 +72,20 @@ from .session import (
 
 __all__ = [
     "CACHE_SCHEMA",
+    "PARALLEL_MODE_ENV",
     "CheckStats",
     "ResultCache",
     "cache_key",
     "canonical_scheme",
     "check_many_sharded",
+    "codegen_cache_key",
+    "load_codegen",
     "options_fingerprint",
     "payload_bytes",
     "payload_from_unit_outcome",
     "result_from_payload",
     "result_to_payload",
+    "store_codegen",
     "unit_key",
 ]
 
@@ -264,6 +268,7 @@ def _file_payload_valid(payload: dict) -> bool:
 #: future option is cache-safe by default and must be excluded explicitly.
 _CHECK_IRRELEVANT_OPTIONS = frozenset({
     "max_machine_steps",  # only consulted by the run/compile bridge
+    "compiled",           # evaluator backend choice; checking is unaffected
 })
 
 
@@ -321,6 +326,39 @@ def unit_key(unit_source: str,
     return hasher.hexdigest()
 
 
+def codegen_cache_key(key: str) -> str:
+    """Namespace a unit key for the codegen side-table.
+
+    Compiled Python sources live in the same cache document as check
+    payloads, under the unit's existing key prefixed with the code
+    generator's version — bumping ``CODEGEN_VERSION`` orphans stale
+    generated code without touching check results.
+    """
+    from ..runtime.compiler import CODEGEN_VERSION
+
+    return f"codegen{CODEGEN_VERSION}:{key}"
+
+
+def _codegen_payload_valid(payload: dict) -> bool:
+    """Shape-check a codegen payload before trusting a cache entry."""
+    try:
+        functions = payload["functions"]
+        arities = payload["arities"]
+        if not isinstance(functions, dict) or not isinstance(arities, dict):
+            return False
+        for name, source in functions.items():
+            if not isinstance(name, str):
+                return False
+            if source is not None and not isinstance(source, str):
+                return False
+        for name, arity in arities.items():
+            if not isinstance(name, str) or not isinstance(arity, int):
+                return False
+    except (KeyError, TypeError):
+        return False
+    return True
+
+
 # ---------------------------------------------------------------------------
 # The incremental cache
 # ---------------------------------------------------------------------------
@@ -355,6 +393,10 @@ class ResultCache:
         #: from one file-level entry without even being re-parsed.
         self.file_hits = 0
         self.file_stores = 0
+        #: Codegen side-table counters (compiled Python sources per unit).
+        self.codegen_hits = 0
+        self.codegen_misses = 0
+        self.codegen_stores = 0
         self._dirty = False
         if path is not None and os.path.exists(path):
             self.entries = self._load(path)
@@ -405,6 +447,23 @@ class ResultCache:
         self.file_stores += 1
         self._dirty = True
 
+    def lookup_codegen(self, key: str) -> Optional[dict]:
+        payload = self.entries.get(key)
+        if payload is not None and not _codegen_payload_valid(payload):
+            payload = None
+        if payload is None:
+            self.codegen_misses += 1
+        else:
+            self.codegen_hits += 1
+        return payload
+
+    def store_codegen(self, key: str, payload: dict) -> None:
+        if self.entries.get(key) == payload:
+            return
+        self.entries[key] = payload
+        self.codegen_stores += 1
+        self._dirty = True
+
     def save(self) -> None:
         """Write the cache atomically (temp file + rename), merging any
         entries a concurrent run persisted since this cache was loaded
@@ -431,6 +490,71 @@ class ResultCache:
                 pass
             raise
         self._dirty = False
+
+
+# ---------------------------------------------------------------------------
+# The per-unit codegen side-table
+# ---------------------------------------------------------------------------
+
+
+def load_codegen(cache: ResultCache, check: CheckResult,
+                 options: DriverOptions):
+    """Resolve cached compiled sources for a fully-checked module.
+
+    Returns ``(sources, units)``.  ``sources`` maps binding names to the
+    generated Python source served from the cache (``None`` marks a
+    binding the compiler is known to skip — still a hit: no codegen is
+    re-attempted).  ``units`` lists ``(key, names, arities)`` per
+    compilation unit, in plan order, for :func:`store_codegen` to write
+    fresh codegen back after the evaluator lowered the misses.
+
+    Keys are the **existing per-unit check keys** (source slice +
+    dependency schemes) under the :func:`codegen_cache_key` namespace.
+    One extra validation is needed that check results do not: compiled
+    call sites bake in each callee's *syntactic arity* (how many
+    parameters its equation binds), which a scheme does not determine —
+    ``f x = \\y -> …`` and ``f x y = …`` share a scheme but not an arity.
+    Each entry therefore records its dependencies' arities and is
+    discarded when any changed.
+    """
+    plan = build_plan(check.parsed)
+    arity_of = {name: len(bind.params)
+                for name, bind in check.parsed.module.bindings().items()}
+    scheme_srcs = {
+        binding.name: (canonical_scheme(binding.scheme)
+                       if binding.scheme is not None else None)
+        for binding in check.bindings}
+    fingerprint = options_fingerprint(options)
+    sources: Dict[str, Optional[str]] = {}
+    units: List[Tuple[str, Tuple[str, ...], Dict[str, int]]] = []
+    for unit in plan.units:
+        key = codegen_cache_key(unit_key(
+            unit.source,
+            [(dep, scheme_srcs.get(dep)) for dep in unit.deps],
+            options, fingerprint))
+        arities = {dep: arity_of[dep] for dep in unit.deps
+                   if dep in arity_of}
+        units.append((key, unit.names, arities))
+        payload = cache.lookup_codegen(key)
+        if payload is None or payload["arities"] != arities:
+            continue
+        for name in unit.names:
+            if name in payload["functions"]:
+                sources[name] = payload["functions"][name]
+    return sources, units
+
+
+def store_codegen(cache: ResultCache, units, compiled) -> None:
+    """Persist a :class:`~repro.runtime.compiler.CompiledProgram`'s
+    generated sources, one entry per compilation unit from
+    :func:`load_codegen`'s ``units`` listing."""
+    for key, names, arities in units:
+        functions = {name: compiled.sources[name] for name in names
+                     if name in compiled.sources}
+        if not functions:
+            continue
+        cache.store_codegen(key, {"functions": functions,
+                                  "arities": arities})
 
 
 # ---------------------------------------------------------------------------
@@ -731,6 +855,51 @@ def _shard(pending: List, jobs: int) -> List[List]:
 
 
 # ---------------------------------------------------------------------------
+# Parallel scheduling policy
+# ---------------------------------------------------------------------------
+
+#: Environment override for the serial-cutoff heuristics:
+#: ``auto`` (default) applies them, ``always`` fans out whenever
+#: ``jobs > 1`` (benchmarks/tests proving pool reuse), ``never`` forces
+#: the in-process path.
+PARALLEL_MODE_ENV = "REPRO_PARALLEL"
+
+#: Fewest pending units that may ship to one worker before fan-out is
+#: worth its dispatch cost (pickling + IPC; spawn is already amortised by
+#: the persistent pool, but a warm round-trip is still not free).
+_MIN_UNITS_PER_WORKER = 4
+
+
+def _parallel_mode() -> str:
+    mode = os.environ.get(PARALLEL_MODE_ENV, "auto").strip().lower()
+    return mode if mode in ("auto", "always", "never") else "auto"
+
+
+def _effective_jobs(jobs: int, pending_units: int, unit_jobs: int) -> int:
+    """How many workers this batch should actually use.
+
+    ``auto`` mode applies the serial cutoff (tiny batches and 1-CPU hosts
+    never pay worker dispatch) and autotunes the shard count so every
+    worker has at least :data:`_MIN_UNITS_PER_WORKER` units; ``always``
+    and ``never`` bypass the heuristics in either direction.
+    """
+    if jobs <= 1:
+        return 1
+    mode = _parallel_mode()
+    if mode == "never":
+        return 1
+    if mode == "always":
+        return jobs
+    cpus = os.cpu_count() or 1
+    if cpus <= 1 or unit_jobs <= 1:
+        return 1
+    jobs = min(jobs, cpus, unit_jobs)
+    while jobs > 1 and pending_units < jobs * _MIN_UNITS_PER_WORKER:
+        jobs -= 1
+    return jobs
+
+
+# ---------------------------------------------------------------------------
 # The public batch entry point
 # ---------------------------------------------------------------------------
 
@@ -831,7 +1000,7 @@ def check_many_sharded(sources: Iterable[Tuple[str, str]],
                                "checked")
     else:
         _check_units_parallel(active, options, jobs, lookup, record, stats,
-                              pipeline, fingerprint)
+                              pipeline, session, fingerprint)
 
     for state in active:
         result = state.assemble()
@@ -854,16 +1023,21 @@ def _check_units_parallel(active: List[_FileState], options: DriverOptions,
                           jobs: int, lookup, record,
                           stats: Optional[CheckStats],
                           pipeline: Pipeline,
+                          session: Session,
                           fingerprint: Optional[str] = None) -> None:
-    """Resolve pending units across a process pool.
+    """Resolve pending units across the session's persistent worker pool.
 
     Per file, cache-resolvable units are answered in dependency order in
     the main process (a hit exports its scheme rendering, which may make
     the *next* unit's key resolvable — the early-cutoff cascade); the
     first unresolvable unit and everything after it become one unit job.
     Jobs are deduplicated (identical sources check once) and sharded
-    contiguously.  Restricted environments (no fork, no /dev/shm) degrade
-    to the in-process loop rather than failing.
+    contiguously across the pool owned by ``session`` — reused from the
+    previous batch when large enough, so spawn cost is paid at most once
+    per session.  The serial cutoff (:func:`_effective_jobs`) keeps tiny
+    batches and 1-CPU hosts on the in-process path, and restricted
+    environments (no fork, no /dev/shm) degrade to it rather than
+    failing.
     """
     import concurrent.futures
 
@@ -926,22 +1100,27 @@ def _check_units_parallel(active: List[_FileState], options: DriverOptions,
             computed[position] = _check_pending_units(
                 pipeline, state.plan, pending, resolver)
 
-    if len(unique) == 1:
+    pending_units = sum(len(pending) for _, pending in unique)
+    effective = _effective_jobs(jobs, pending_units, len(unique))
+    if effective <= 1:
+        session.pool_stats["serial_batches"] += 1
         compute_serially()
     else:
         try:
-            with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=min(jobs, len(unique)),
-                    initializer=_worker_init,
-                    initargs=(dataclasses.asdict(options),)) as executor:
-                futures = [executor.submit(_worker_check_units, shard)
-                           for shard in _shard(shipped,
-                                               min(jobs, len(shipped)))]
-                for future in futures:
-                    for position, payloads in future.result():
-                        computed[position] = payloads
+            executor = session.acquire_pool(effective, options)
+            futures = [executor.submit(_worker_check_units, shard)
+                       for shard in _shard(shipped,
+                                           min(effective, len(shipped)))]
+            for future in futures:
+                for position, payloads in future.result():
+                    computed[position] = payloads
+            session.pool_stats["parallel_batches"] += 1
         except (OSError, PermissionError,
                 concurrent.futures.process.BrokenProcessPool):
+            # A broken/unspawnable pool is dropped (the next batch may
+            # retry); this batch completes in-process.
+            session.discard_pool()
+            session.pool_stats["serial_batches"] += 1
             compute_serially()
 
     for job_index, (state, pending) in enumerate(unit_jobs):

@@ -195,6 +195,11 @@ class RunResult:
     #: boxed integers); None when the machine ran but the result has no
     #: canonical comparison (e.g. a function value).
     machine_agrees: Optional[bool] = None
+    #: Closure-compilation counters (``options.compiled`` runs only):
+    #: bindings lowered to Python this run vs served from the per-unit
+    #: codegen cache.  None when the tree-walker evaluated the entry.
+    codegen_compiled: Optional[int] = None
+    codegen_cached: Optional[int] = None
 
     @property
     def diagnostics(self) -> List[Diagnostic]:
@@ -209,6 +214,10 @@ class RunResult:
                     f"{key}={value}" for key, value in self.costs.items()
                     if key in ("heap_allocations", "thunk_forces", "primops",
                                "function_calls", "estimated_cycles")))
+            if self.codegen_compiled is not None:
+                lines.append(
+                    f"codegen: {self.codegen_compiled} function(s) "
+                    f"compiled, {self.codegen_cached} cached")
             if self.machine_value is not None:
                 if self.machine_agrees is None:
                     verdict = "ran (result not comparable)"
@@ -317,6 +326,10 @@ class DriverOptions:
     run_levity_check: bool = True
     #: Step budget for the M machine when the compile bridge runs.
     max_machine_steps: int = 1_000_000
+    #: Evaluate through the closure-compilation backend
+    #: (:mod:`repro.runtime.compiler`) instead of the tree-walker.
+    #: Semantics-identical; the cost counters are not modelled.
+    compiled: bool = False
 
     def printer_options(self) -> PrinterOptions:
         return PrinterOptions(
@@ -632,6 +645,12 @@ def assemble_decl_order(
 # ---------------------------------------------------------------------------
 
 
+def _shutdown_executor(executor) -> None:
+    """GC/close hook for a session's worker pool (must not capture the
+    session itself, or the ``weakref.finalize`` would keep it alive)."""
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
 class Session:
     """A long-lived driver session: cached prelude, batch checking, REPL state."""
 
@@ -645,6 +664,87 @@ class Session:
         #: over a session).
         self._repl_decls: List[str] = []
         self._repl_check: Optional[CheckResult] = None
+        #: The persistent worker pool (lazily spawned, reused across
+        #: ``check_many`` calls) and the counters that make its lifecycle
+        #: observable to benchmarks and tests.
+        self._pool = None
+        self._pool_size = 0
+        self._pool_options: Optional[dict] = None
+        self._pool_finalizer = None
+        self.pool_stats: Dict[str, int] = {
+            "pools_created": 0,
+            "pools_reused": 0,
+            "parallel_batches": 0,
+            "serial_batches": 0,
+        }
+
+    # -- the persistent worker pool -------------------------------------------
+
+    def acquire_pool(self, jobs: int, options: Optional[DriverOptions] = None):
+        """The session's :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+        Created on first use and **reused across batch calls** — worker
+        processes keep their warm per-process :class:`Session` (prelude
+        built once) between calls, so repeated ``check_many(jobs=N)`` pays
+        process spawn at most once.  The pool is replaced only when a
+        caller needs more workers than it has or checks under different
+        options (workers bake options in at init).  CPython spawns the
+        actual worker processes lazily on first submit, so an unused pool
+        costs nothing.
+
+        Raising is the caller's signal to fall back to in-process
+        checking; :meth:`discard_pool` then drops any broken pool.
+        """
+        import dataclasses as _dataclasses
+        from concurrent.futures import ProcessPoolExecutor
+
+        from .batch import _worker_init
+
+        options_state = _dataclasses.asdict(options if options is not None
+                                            else self.options)
+        if self._pool is not None:
+            if self._pool_size >= jobs and self._pool_options == options_state:
+                self.pool_stats["pools_reused"] += 1
+                return self._pool
+            self._shutdown_pool()
+        pool = ProcessPoolExecutor(max_workers=jobs,
+                                   initializer=_worker_init,
+                                   initargs=(options_state,))
+        self._pool = pool
+        self._pool_size = jobs
+        self._pool_options = options_state
+        self.pool_stats["pools_created"] += 1
+        import weakref
+
+        self._pool_finalizer = weakref.finalize(self, _shutdown_executor,
+                                                pool)
+        return pool
+
+    def discard_pool(self) -> None:
+        """Drop the worker pool (after a BrokenProcessPool, or to force the
+        next batch to respawn)."""
+        self._shutdown_pool()
+
+    def _shutdown_pool(self) -> None:
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        if self._pool is not None:
+            _shutdown_executor(self._pool)
+            self._pool = None
+            self._pool_size = 0
+            self._pool_options = None
+
+    def close(self) -> None:
+        """Shut down the worker pool.  Idempotent; the session remains
+        usable (a later batch call simply respawns the pool)."""
+        self._shutdown_pool()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- the one-shot pipeline entry points ----------------------------------
 
@@ -688,17 +788,23 @@ class Session:
                                   stats=stats)
 
     def run(self, source: str, filename: str = "<input>",
-            entry: str = "main") -> RunResult:
+            entry: str = "main", cache=None) -> RunResult:
         """Check, then evaluate ``entry`` on the cost-model machine.
 
         When the entry also fits the compilable L fragment, the program is
         additionally lowered, compiled to M (Figure 7) and executed on the
         M machine as a cross-check.
+
+        With ``options.compiled`` and a ``cache`` (a path or
+        :class:`repro.driver.batch.ResultCache`), generated Python sources
+        are stored per compilation unit next to the check results, so a
+        warm run links cached code instead of re-lowering each binding.
         """
-        return self.run_from_check(self.check(source, filename), entry)
+        return self.run_from_check(self.check(source, filename), entry,
+                                   cache=cache)
 
     def run_from_check(self, check: CheckResult,
-                       entry: str = "main") -> RunResult:
+                       entry: str = "main", cache=None) -> RunResult:
         """Evaluate ``entry`` of an already-checked module (full results
         only: ``check.parsed`` must be present, so slim batch/cache results
         do not qualify).  Lets callers that already paid for inference —
@@ -726,9 +832,30 @@ class Session:
             check.ok = False
             return result
 
+        compiled = self.options.compiled
+        sources = None
+        codegen_units = None
+        cache_obj = None
+        if compiled and cache is not None:
+            from .batch import ResultCache, load_codegen
+
+            cache_obj = ResultCache(cache) if isinstance(cache, str) \
+                else cache
+            sources, codegen_units = load_codegen(cache_obj, check,
+                                                  self.options)
         try:
             program = _program_from_check(module, check)
-            evaluator = Evaluator(program)
+            evaluator = Evaluator(program, compiled=compiled,
+                                  compiled_sources=sources)
+            if evaluator._compiled is not None:
+                result.codegen_compiled = evaluator._compiled.codegen_count
+                result.codegen_cached = evaluator._compiled.cache_hits
+                if cache_obj is not None:
+                    from .batch import store_codegen
+
+                    store_codegen(cache_obj, codegen_units,
+                                  evaluator._compiled)
+                    cache_obj.save()
             value = evaluator.force(evaluator.eval(entry_bind.rhs))
             result.value = value.show(evaluator.heap)
             result.costs = evaluator.costs.as_dict()
@@ -930,7 +1057,7 @@ class Session:
                 from ..runtime.evaluator import Program
 
                 program = Program()
-            evaluator = Evaluator(program)
+            evaluator = Evaluator(program, compiled=self.options.compiled)
             value = evaluator.force(evaluator.eval(expr))
             return value.show(evaluator.heap)
         except ReproError as exc:

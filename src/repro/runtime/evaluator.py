@@ -52,6 +52,7 @@ from ..surface.ast import (
 from ..surface.types import FunTy, SType, kind_of_type
 from .values import (
     Closure,
+    CompiledClosure,
     ConstructorCell,
     CostModel,
     DictionaryCell,
@@ -192,6 +193,9 @@ class Program:
     functions: Dict[str, ProgramFunction] = field(default_factory=dict)
     class_env: object = None
     module_result: Optional[ModuleResult] = None
+    #: Bumped whenever the function table changes, so evaluators can
+    #: invalidate their per-name global-resolution caches.
+    version: int = 0
 
     @staticmethod
     def from_module(module: Module, env: Optional[TypeEnv] = None,
@@ -225,6 +229,7 @@ class Program:
             tuple(False for _ in bind.params)
         self.functions[bind.name] = ProgramFunction(
             bind.name, bind.params, strictness, bind.rhs, None)
+        self.version += 1
 
 
 def _param_strictness(scheme: Optional[Scheme], arity: int) -> Tuple[bool, ...]:
@@ -263,11 +268,18 @@ def _is_strict_type(type_: SType) -> bool:
 # ---------------------------------------------------------------------------
 
 
+#: Shared empty environment for global resolution from compiled code.
+_EMPTY_ENV: Dict[str, "Value"] = {}
+
+
 class Evaluator:
     """Execute surface expressions with the cost model attached."""
 
     def __init__(self, program: Optional[Program] = None,
-                 costs: Optional[CostModel] = None) -> None:
+                 costs: Optional[CostModel] = None,
+                 compiled: bool = False,
+                 compiled_sources: Optional[Dict[str, Optional[str]]] = None,
+                 ) -> None:
         self.program = program or Program()
         self.costs = costs if costs is not None else CostModel()
         self.heap = Heap(self.costs)
@@ -275,6 +287,18 @@ class Evaluator:
         #: points, nullary constructors, helper definitions).  These live in
         #: the static segment and are never charged to the cost model.
         self._static_cache: Dict[str, Value] = {}
+        #: Memoised global resolutions (every name _eval_var has resolved
+        #: outside the local environment), invalidated when the program's
+        #: function table changes.
+        self._global_cache: Dict[str, Value] = {}
+        self._global_version = self.program.version
+        #: The closure-compilation backend, when requested.  Its constructor
+        #: installs itself on this attribute before linking (helper lambdas
+        #: resolved while linking go through the compiled path too).
+        self._compiled = None
+        if compiled:
+            from .compiler import CompiledProgram
+            CompiledProgram(self, sources=compiled_sources)
 
     # -- public API -----------------------------------------------------------
 
@@ -288,7 +312,13 @@ class Evaluator:
 
     def eval(self, expr: Expr, env: Optional[Dict[str, Value]] = None) -> Value:
         """Evaluate an expression to (weak-head) normal form."""
-        return self._eval(expr, env or {})
+        env = env or {}
+        if self._compiled is not None:
+            from .compiler import FALLBACK
+            value = self._compiled.eval_expression(expr, env)
+            if value is not FALLBACK:
+                return value
+        return self._eval(expr, env)
 
     def force(self, value: Value) -> Value:
         """Force thunks until a non-thunk heap object or unboxed value remains."""
@@ -365,9 +395,19 @@ class Evaluator:
             raise ScopeError(f"no top-level function named {name!r}") from None
 
     def _closure_value(self, function: ProgramFunction) -> Value:
+        if self._compiled is not None:
+            compiled = self._compiled.functions.get(function.name)
+            if compiled is not None:
+                return compiled.value_ref()
+        return self._tree_closure_value(function)
+
+    def _tree_closure_value(self, function: ProgramFunction) -> Value:
+        # Keyed to the ProgramFunction *identity*, not just the name:
+        # add_function replaces the entry wholesale, and a stale static
+        # closure would keep executing the old body.
         cached = self._static_cache.get(f"fun:{function.name}")
-        if cached is not None:
-            return cached
+        if cached is not None and cached[0] is function:
+            return cached[1]
         if function.params:
             obj: HeapObject = Closure(function.name, function.params,
                                       function.param_strict, function.body,
@@ -378,7 +418,7 @@ class Evaluator:
             # closure.
             obj = Thunk(lambda: self._eval(function.body, {}))
         ref = self.heap.allocate(obj, static=True)
-        self._static_cache[f"fun:{function.name}"] = ref
+        self._static_cache[f"fun:{function.name}"] = (function, ref)
         return ref
 
     def _eval(self, expr: Expr, env: Dict[str, Value]) -> Value:
@@ -433,8 +473,29 @@ class Evaluator:
         raise EvaluationError(f"cannot evaluate {expr!r}")
 
     def _eval_var(self, name: str, env: Dict[str, Value]) -> Value:
-        if name in env:
-            return env[name]
+        value = env.get(name)
+        if value is not None:
+            return value
+        # Global resolutions are memoised per evaluator: the fallback chain
+        # below (program → primop → constructor → class selector → prelude
+        # helper) runs at most once per name, then every later occurrence is
+        # one dict probe.  The cache is dropped if the program's function
+        # table changes under us.
+        cache = self._global_cache
+        if self._global_version != self.program.version:
+            cache.clear()
+            self._global_version = self.program.version
+        value = cache.get(name)
+        if value is None:
+            value = self._resolve_global(name)
+            cache[name] = value
+        return value
+
+    def global_value(self, name: str) -> Value:
+        """Resolve a name outside any local environment (compiled code)."""
+        return self._eval_var(name, _EMPTY_ENV)
+
+    def _resolve_global(self, name: str) -> Value:
         if name in self.program.functions:
             return self._closure_value(self._function(name))
         cached = self._static_cache.get(name)
@@ -460,8 +521,10 @@ class Evaluator:
             value = selector
         elif name in _BOXED_HELPERS:
             # Boxed helpers (plusInt & co.) are top-level code: their outer
-            # closure is static, exactly like a compiled definition.
-            value = self._eval(_BOXED_HELPERS[name], {})
+            # closure is static, exactly like a compiled definition.  Routed
+            # through eval() so the compiled backend, when active, lowers
+            # them like any other binding.
+            value = self.eval(_BOXED_HELPERS[name], {})
         elif name == "appendString":
             value = self.heap.allocate(
                 PrimOpValue("appendString", 2, _append_strings), static=True)
@@ -499,21 +562,29 @@ class Evaluator:
 
     # -- application -------------------------------------------------------------
 
+    def _callee_wants_strict(self, function: Value) -> bool:
+        """Is the callee's next parameter call-by-value?  (``function`` must
+        already be forced.)  Primops, constructors and selectors always
+        force; closures — interpreted or compiled — consult the strictness
+        their kinds assigned to the next parameter."""
+        obj = self.heap.load(function) \
+            if isinstance(function, HeapRef) else None
+        if isinstance(obj, Closure):
+            index = len(obj.collected)
+            return (obj.param_strict[index]
+                    if index < len(obj.param_strict) else False)
+        if isinstance(obj, CompiledClosure):
+            index = len(obj.collected)
+            param_strict = obj.target.param_strict
+            return (param_strict[index]
+                    if index < len(param_strict) else False)
+        return True
+
     def _apply(self, function: Value, argument_expr: Expr,
                env: Dict[str, Value]) -> Value:
         """Apply to an argument *expression* (laziness decided by the callee)."""
         function = self.force(function)
-        obj = self.heap.load(function) if isinstance(function, HeapRef) else None
-
-        strict = True
-        if isinstance(obj, Closure):
-            index = len(obj.collected)
-            strict = (obj.param_strict[index]
-                      if index < len(obj.param_strict) else False)
-        elif isinstance(obj, PrimOpValue):
-            strict = True
-        elif isinstance(obj, MethodSelector):
-            strict = True
+        strict = self._callee_wants_strict(function)
 
         if strict:
             argument: Value = self.force(self._eval(argument_expr, env))
@@ -542,6 +613,9 @@ class Evaluator:
         obj = self.heap.load(function)
         self.costs.function_calls += 1
 
+        if isinstance(obj, CompiledClosure):
+            return obj.enter(self, argument)
+
         if isinstance(obj, PrimOpValue):
             collected = obj.collected + (self.force(argument),)
             if len(collected) < obj.arity:
@@ -569,6 +643,41 @@ class Evaluator:
 
         raise EvaluationError(
             f"cannot apply value {obj.show_object(self.heap)}")
+
+    # -- linkage for compiled code ----------------------------------------------
+    # Generated code (repro.runtime.compiler) binds these once per linked
+    # function; they carry the few behaviours that stay dynamic — generic
+    # application when the callee is unknown at compile time, and error
+    # raising with tree-walker-identical messages.
+
+    def primop_impl(self, name: str) -> Callable[..., Value]:
+        """The raw implementation of a primop, for direct compiled calls."""
+        return PRIMOP_TABLE[name][1]
+
+    def apply_arg_value(self, function: Value, argument: Value) -> Value:
+        """Generic application to an already-evaluated argument."""
+        function = self.force(function)
+        if self._callee_wants_strict(function):
+            argument = self.force(argument)
+        return self.apply_value(function, argument, already_value=True)
+
+    def apply_arg_thunk(self, function: Value,
+                        compute: Callable[[], Value]) -> Value:
+        """Generic application to a deferred argument: the callee's
+        convention decides whether ``compute`` runs now or is thunked."""
+        function = self.force(function)
+        if self._callee_wants_strict(function):
+            argument = self.force(compute())
+        else:
+            argument = self.heap.allocate(Thunk(compute))
+        return self.apply_value(function, argument, already_value=True)
+
+    def raise_undefined(self) -> Value:
+        raise EvaluationError("Prelude.undefined")
+
+    def no_match(self, scrutinee: Value) -> Value:
+        raise PatternError(
+            f"no alternative matched {scrutinee.show(self.heap)}")
 
     def _dispatch_method(self, selector: MethodSelector,
                          argument: Value) -> Value:

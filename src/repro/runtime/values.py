@@ -239,6 +239,36 @@ class Closure(HeapObject):
 
 
 @dataclass
+class CompiledClosure(HeapObject):
+    """A closure produced by the closure-compilation backend.
+
+    ``target`` is a ``repro.runtime.compiler.CompiledFunction`` (or a
+    compiled lambda): its calling convention — arity and per-parameter
+    strictness — was baked in at compile time from the inferred kinds, so
+    entering the closure needs no per-call strictness rederivation.  The
+    printed form matches the tree-walker's :class:`Closure` exactly; the two
+    kinds of closure are interchangeable at every application site.
+    """
+
+    target: object                   # CompiledFunction; duck-typed to avoid
+    collected: Tuple[Value, ...] = ()  # a circular import with the compiler
+
+    def size_in_words(self) -> int:
+        return 2 + len(self.collected)
+
+    def show_object(self, heap: "Heap") -> str:
+        return f"<closure {self.target.name or 'λ'}/{self.target.arity}>"
+
+    def enter(self, evaluator, argument: Value) -> Value:
+        target = self.target
+        collected = self.collected + (argument,)
+        if len(collected) < target.arity:
+            return evaluator.heap.allocate(
+                CompiledClosure(target, collected), static=True)
+        return target.call(*collected)
+
+
+@dataclass
 class PrimOpValue(HeapObject):
     """A (possibly partially applied) primitive operation."""
 
