@@ -70,6 +70,31 @@ def record_counter(key, value):
     _COUNTERS[key] = value
 
 
+def drain_registry(key=None):
+    """Snapshot-and-reset the process-global telemetry registry.
+
+    The benchmarks share one Python process (one pytest session), and the
+    :data:`repro.telemetry.REGISTRY` counters are process-global — without
+    a reset between E-sections, section N's solver/cache/runtime counts
+    would leak into section N+1's report.  Every benchmark that reads the
+    registry should go through this helper: it returns the snapshot and
+    zeroes the registry **in place** (metric identities survive, so hot
+    code holding a ``Counter`` reference keeps working).
+
+    When ``key`` is given the snapshot's counters are also recorded under
+    that key via :func:`record_counter`, which is how registry-backed
+    counts reach ``BENCH_perf.json`` instead of benchmarks reaching into
+    module internals.
+    """
+    from repro.telemetry import REGISTRY
+
+    snapshot = REGISTRY.snapshot()
+    REGISTRY.reset()
+    if key is not None:
+        record_counter(key, snapshot["counters"])
+    return snapshot
+
+
 def time_op(key, fn, *args, repeats=3, meta=None):
     """Run ``fn(*args)`` ``repeats`` times, record the best wall-clock time.
 

@@ -12,6 +12,23 @@ import benchreport
 sys.setrecursionlimit(20_000)
 
 
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolate_telemetry_registry():
+    """Zero the process-global telemetry registry around every benchmark.
+
+    All E-sections run in one pytest process; without this, solver/cache/
+    runtime counters recorded by section N would leak into section N+1's
+    report (the ISSUE-7 counter-leak bugfix, pinned by
+    tests/test_telemetry.py).
+    """
+    benchreport.drain_registry()
+    yield
+    benchreport.drain_registry()
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Flush wall-clock timings collected by the benchmarks to BENCH_perf.json."""
     report = benchreport.write_perf_json()

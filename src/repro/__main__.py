@@ -17,8 +17,18 @@ Subcommands:
   ``--compiled`` evaluates through the closure-compilation backend
   instead of the tree-walker; with ``--cache PATH`` the generated code is
   reused per binding (a warm run reports zero functions compiled).
+  ``--stats`` reports the unified telemetry counters (solver, codegen,
+  compiled runtime, evaluator cost model); with ``--json`` the result and
+  counters are one machine-readable document.
 * ``compile file.lev`` — check, lower the entry to the calculus L, compile
   to the machine language M, show the code, and run it.
+
+``check``/``run``/``compile`` also accept ``--trace out.json`` (or the
+``REPRO_TRACE`` environment variable), which records the pipeline's spans
+— parse, depgraph, unit.infer/unit.unify, cache.lookup, pool.shard,
+codegen.lower, eval.run, including worker-process spans on their own pid
+rows — as Chrome trace-event JSON loadable in Perfetto
+(see docs/OBSERVABILITY.md).
 * ``repl`` — a small read-eval-print loop (declarations accumulate;
   ``:t expr`` shows a type; ``:q`` quits).
 * ``fuzz`` — generate a corpus of random well-typed programs
@@ -46,6 +56,7 @@ import sys
 from typing import List, Optional
 
 from .driver import DriverOptions, Session
+from .telemetry import REGISTRY, TRACER, env_trace_path, stats_document
 
 
 class _CliError(Exception):
@@ -90,6 +101,16 @@ def _check_json(results) -> str:
     return json.dumps(payload, indent=2)
 
 
+def _print_stats_text(stream, check_stats=None) -> None:
+    print("-- stats --", file=stream)
+    if check_stats is not None:
+        print(check_stats.pretty(), file=stream)
+    metrics = REGISTRY.pretty()
+    if metrics:
+        print("-- metrics --", file=stream)
+        print(metrics, file=stream)
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from .driver.batch import CheckStats
 
@@ -100,29 +121,65 @@ def _cmd_check(args: argparse.Namespace) -> int:
                                  stats=stats)
     source_of = dict(sources)
     if args.json:
-        print(_check_json(results))
+        if stats is not None:
+            # One machine-readable document: results plus the unified
+            # telemetry snapshot (docs/OBSERVABILITY.md).
+            document = {"results": json.loads(_check_json(results)),
+                        "stats": stats_document(check=stats)}
+            print(json.dumps(document, indent=2))
+        else:
+            print(_check_json(results))
     else:
         for result in results:
             # The source in hand enables GHC-style caret snippets under
             # span-carrying diagnostics.
             print(result.pretty(source=source_of.get(result.filename)))
-    if stats is not None:
-        # Under --json the stats go to stderr so stdout stays one valid
-        # machine-readable document.
-        stream = sys.stderr if args.json else sys.stdout
-        print("-- stats --", file=stream)
-        print(stats.pretty(), file=stream)
+        if stats is not None:
+            _print_stats_text(sys.stdout, stats)
     return 0 if all(result.ok for result in results) else 1
+
+
+def _run_json(result) -> dict:
+    payload = {
+        "file": result.check.filename,
+        "entry": result.entry,
+        "ok": result.ok,
+        "value": result.value,
+        "codegen": {"compiled": result.codegen_compiled,
+                    "cached": result.codegen_cached},
+        "costs": result.costs,
+        "diagnostics": [
+            {"severity": d.severity, "stage": d.stage, "message": d.message,
+             "binding": d.binding}
+            for d in result.diagnostics],
+    }
+    if result.machine_value is not None:
+        payload["machine"] = {"value": result.machine_value,
+                              "steps": result.machine_steps,
+                              "agrees": result.machine_agrees}
+    return payload
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     session = Session(_options(args))
     ok = True
+    payloads = []
     for path in args.files:
         result = session.run(_read_source(path), path, entry=args.entry,
                              cache=args.cache)
-        print(result.pretty())
+        if args.json:
+            payloads.append(_run_json(result))
+        else:
+            print(result.pretty())
         ok = ok and result.ok
+    if args.json:
+        if args.stats:
+            print(json.dumps({"results": payloads,
+                              "stats": stats_document()}, indent=2))
+        else:
+            print(json.dumps(payloads, indent=2))
+    elif args.stats:
+        _print_stats_text(sys.stdout)
     return 0 if ok else 1
 
 
@@ -131,6 +188,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     result = session.compile(_read_source(args.file), args.file,
                              entry=args.entry)
     print(result.pretty())
+    if args.stats:
+        _print_stats_text(sys.stdout)
     return 0 if result.ok else 1
 
 
@@ -235,8 +294,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "(source slice + dependency schemes; see "
                             "docs/INCREMENTAL.md)")
     check.add_argument("--stats", action="store_true",
-                       help="print per-binding check timings and cache "
-                            "hit/miss counts")
+                       help="print per-binding check timings, cache "
+                            "hit/miss counts, and the unified telemetry "
+                            "counters")
+    check.add_argument("--trace", default=None, metavar="PATH",
+                       help="write pipeline spans (including worker "
+                            "processes) as Chrome trace-event JSON, "
+                            "loadable in Perfetto")
     check.set_defaults(func=_cmd_check)
 
     run = sub.add_parser("run", help="check then evaluate an entry point")
@@ -253,6 +317,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "reports zero functions compiled")
     run.add_argument("--explicit-reps", action="store_true")
     run.add_argument("--no-levity-check", action="store_true")
+    run.add_argument("--stats", action="store_true",
+                     help="report the unified telemetry counters (solver, "
+                          "codegen, compiled runtime, cost model)")
+    run.add_argument("--json", action="store_true",
+                     help="emit machine-readable JSON (with --stats, one "
+                          "document carrying results and counters)")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="write pipeline spans as Chrome trace-event JSON")
     run.set_defaults(func=_cmd_run)
 
     compile_ = sub.add_parser(
@@ -260,6 +332,11 @@ def build_parser() -> argparse.ArgumentParser:
     compile_.add_argument("file", help=".lev source file")
     compile_.add_argument("--entry", default="main")
     compile_.add_argument("--explicit-reps", action="store_true")
+    compile_.add_argument("--stats", action="store_true",
+                          help="report the unified telemetry counters")
+    compile_.add_argument("--trace", default=None, metavar="PATH",
+                          help="write pipeline spans as Chrome trace-event "
+                               "JSON")
     compile_.set_defaults(func=_cmd_compile)
 
     repl = sub.add_parser("repl", help="interactive read-eval-print loop")
@@ -311,8 +388,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    trace_out = getattr(args, "trace", None) or env_trace_path()
+    if trace_out:
+        TRACER.enable()
+    if getattr(args, "stats", False):
+        # Switch on the hot-path runtime counters too (fold-point
+        # counters publish regardless).
+        REGISTRY.enable()
     try:
-        return args.func(args)
+        code = args.func(args)
+        if trace_out:
+            TRACER.write(trace_out)
+        return code
     except _CliError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

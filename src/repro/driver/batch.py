@@ -58,6 +58,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from ..core.errors import ParseError
 from ..frontend.lexer import Span
 from ..infer.schemes import Scheme
+from ..telemetry import (
+    REGISTRY as _REGISTRY,
+    SHARD_TID_BASE,
+    TRACER as _TRACER,
+)
 from .depgraph import CheckUnit, ModulePlan, build_plan
 from .session import (
     BindingSummary,
@@ -568,8 +573,22 @@ class UnitTiming:
 
     filename: str
     names: Tuple[str, ...]
-    seconds: Optional[float]      # None when checked in a worker process
-    outcome: str                  # "checked" | "hit"
+    #: Wall seconds when the unit was timed in-process; None for rows
+    #: that were never timed (cache hits, deduplicated jobs, and units
+    #: checked inside a worker process).
+    seconds: Optional[float]
+    #: Where the row came from: "checked" (type-checked this call),
+    #: "hit" (served from the unit cache), or "skipped" (a deduplicated
+    #: duplicate job — the identical unit was checked once elsewhere in
+    #: the batch).  Cache hits used to record 0.0 seconds, which made
+    #: them indistinguishable from genuinely instant units; the explicit
+    #: source plus ``seconds=None`` removes that ambiguity.
+    source: str
+
+    @property
+    def outcome(self) -> str:
+        """Backwards-compatible alias for :attr:`source`."""
+        return self.source
 
 
 @dataclass
@@ -584,25 +603,52 @@ class CheckStats:
     checked: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Deduplicated duplicate jobs (identical source + deps in one batch).
+    skipped: int = 0
     timings: List[UnitTiming] = field(default_factory=list)
 
     def note(self, filename: str, unit: CheckUnit,
-             seconds: Optional[float], outcome: str) -> None:
+             seconds: Optional[float], source: str) -> None:
         self.units += 1
-        if outcome == "hit":
+        if source == "hit":
             self.cache_hits += 1
+            _REGISTRY.inc("cache.unit_hits")
+        elif source == "skipped":
+            self.skipped += 1
+            _REGISTRY.inc("batch.units_skipped")
         else:
             self.checked += 1
+            _REGISTRY.inc("batch.units_checked")
         self.timings.append(UnitTiming(filename, unit.names, seconds,
-                                       outcome))
+                                       source))
+
+    def as_dict(self) -> dict:
+        """JSON-ready form for the unified ``--stats --json`` document."""
+        return {
+            "files": self.files,
+            "parse_failures": self.parse_failures,
+            "file_hits": self.file_hits,
+            "units": self.units,
+            "checked": self.checked,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "skipped": self.skipped,
+            "timings": [
+                {"filename": t.filename, "names": list(t.names),
+                 "seconds": t.seconds, "source": t.source}
+                for t in self.timings],
+        }
 
     def pretty(self, slowest: int = 10) -> str:
-        lines = [
+        summary = (
             f"files: {self.files}  file hits: {self.file_hits}  "
             f"units: {self.units}  checked: {self.checked}  "
             f"cache hits: {self.cache_hits}  "
             f"cache misses: {self.cache_misses}"
-        ]
+        )
+        if self.skipped:
+            summary += f"  skipped: {self.skipped}"
+        lines = [summary]
         if self.parse_failures:
             lines.append(f"parse failures: {self.parse_failures}")
         timed = [t for t in self.timings if t.seconds is not None]
@@ -613,7 +659,15 @@ class CheckStats:
                 names = ", ".join(timing.names)
                 lines.append(f"  {timing.filename}:{names}  "
                              f"{timing.seconds * 1000:.2f}ms  "
-                             f"[{timing.outcome}]")
+                             f"[{timing.source}]")
+        untimed = [t for t in self.timings if t.seconds is None]
+        if untimed:
+            counts: Dict[str, int] = {}
+            for timing in untimed:
+                counts[timing.source] = counts.get(timing.source, 0) + 1
+            rendered = "  ".join(f"{source}: {count}" for source, count
+                                 in sorted(counts.items()))
+            lines.append(f"untimed units ({len(untimed)}):  {rendered}")
         return "\n".join(lines)
 
 
@@ -695,8 +749,10 @@ class _FileState:
         self.filename = filename
         self.source = source
         self.parsed, self.parse_diagnostics = pipeline.parse(source, filename)
-        self.plan: Optional[ModulePlan] = (
-            build_plan(self.parsed) if self.parsed is not None else None)
+        self.plan: Optional[ModulePlan] = None
+        if self.parsed is not None:
+            with _TRACER.span("depgraph", file=filename):
+                self.plan = build_plan(self.parsed)
         #: uid -> unit payload, filled as units resolve.
         self.payloads: Dict[int, dict] = {}
         #: defined name -> canonical scheme rendering (or None = failed).
@@ -769,8 +825,16 @@ _WORKER_PLANS: Dict[str, ModulePlan] = {}
 _WORKER_PLAN_LIMIT = 1024
 
 
-def _worker_init(options_state: dict) -> None:
+def _worker_init(options_state: dict, trace_enabled: bool = False) -> None:
     global _WORKER_SESSION
+    # Under the fork start method the child inherits the parent tracer's
+    # buffered events and epoch; reset so the worker payload carries only
+    # spans this process actually recorded, timed from its own clock.
+    _TRACER.reset(process_name="repro worker")
+    if trace_enabled:
+        _TRACER.enable()
+    else:
+        _TRACER.disable()
     _WORKER_SESSION = Session(DriverOptions(**options_state))
 
 
@@ -818,7 +882,8 @@ _UnitJob = Tuple[int, str, str, List[int],
 
 
 def _worker_check_units(shard: List[_UnitJob]
-                        ) -> List[Tuple[int, List[Tuple[int, dict]]]]:
+                        ) -> Tuple[List[Tuple[int, List[Tuple[int, dict]]]],
+                                   Optional[dict]]:
     """Check one shard of unit jobs.
 
     The shard's granularity is the *unit*: fully-cached units never reach
@@ -828,17 +893,28 @@ def _worker_check_units(shard: List[_UnitJob]
     plan from the shipped source (deterministic) and rebuild dependency
     environments from the canonical scheme renderings, so worker output is
     byte-identical to an in-process check.
+
+    Returns ``(results, trace_payload)``: when the worker tracer is on,
+    the second element ships this process's spans (with its pid and
+    wall-clock epoch) back for the parent to rebase onto its timeline.
     """
     session = _WORKER_SESSION
     assert session is not None, "worker used without _worker_init"
     pipeline = session.pipeline
+    traced = _TRACER.enabled
     out = []
     for job, filename, source, pending, dep_srcs in shard:
-        plan = _plan_for(pipeline, filename, source)
-        resolver = _SchemeResolver(pipeline, plan, dict(dep_srcs))
-        out.append((job, _check_pending_units(pipeline, plan, pending,
-                                              resolver)))
-    return out
+        if traced:
+            _TRACER.begin("worker.file", file=filename, units=len(pending))
+        try:
+            plan = _plan_for(pipeline, filename, source)
+            resolver = _SchemeResolver(pipeline, plan, dict(dep_srcs))
+            out.append((job, _check_pending_units(pipeline, plan, pending,
+                                                  resolver)))
+        finally:
+            if traced:
+                _TRACER.end("worker.file")
+    return out, (_TRACER.worker_payload() if traced else None)
 
 
 def _shard(pending: List, jobs: int) -> List[List]:
@@ -933,6 +1009,11 @@ def check_many_sharded(sources: Iterable[Tuple[str, str]],
         cache = ResultCache(cache)
     if session is None:
         session = Session(options)
+    if stats is None:
+        # Counting always (into an internal CheckStats) keeps the
+        # telemetry registry's cache.*/batch.* counters accurate whether
+        # or not the caller asked for a --stats table.
+        stats = CheckStats()
     pipeline = session.pipeline
     fingerprint = options_fingerprint(options)
 
@@ -947,27 +1028,40 @@ def check_many_sharded(sources: Iterable[Tuple[str, str]],
             payload = cache.lookup_file(file_key)
             if payload is not None:
                 results[index] = result_from_payload(payload, filename)
+                _REGISTRY.inc("cache.file_hits")
                 if stats is not None:
                     stats.file_hits += 1
                 continue
         active.append(_FileState(index, filename, source, pipeline))
 
+    parse_failures = sum(1 for state in active if state.parsed is None)
+    _REGISTRY.inc("batch.files", len(items))
+    if parse_failures:
+        _REGISTRY.inc("batch.parse_failures", parse_failures)
     if stats is not None:
         stats.files = len(items)
-        stats.parse_failures = sum(1 for state in active
-                                   if state.parsed is None)
+        stats.parse_failures = parse_failures
 
     #: In-batch memo: identical units (same key) check at most once even
     #: without a persistent cache.
     memo: Dict[str, dict] = {}
 
     def lookup(key: str) -> Optional[dict]:
-        if cache is not None:
-            payload = cache.lookup(key)
-            if stats is not None and payload is None:
-                stats.cache_misses += 1
-            return payload
-        return memo.get(key)
+        traced = _TRACER.enabled
+        if traced:
+            _TRACER.begin("cache.lookup")
+        try:
+            if cache is not None:
+                payload = cache.lookup(key)
+                if payload is None:
+                    _REGISTRY.inc("cache.unit_misses")
+                    if stats is not None:
+                        stats.cache_misses += 1
+                return payload
+            return memo.get(key)
+        finally:
+            if traced:
+                _TRACER.end("cache.lookup")
 
     def record(key: str, payload: dict) -> None:
         if cache is not None:
@@ -989,7 +1083,7 @@ def check_many_sharded(sources: Iterable[Tuple[str, str]],
                 if payload is not None:
                     state.resolve(unit, payload)
                     if stats is not None:
-                        stats.note(state.filename, unit, 0.0, "hit")
+                        stats.note(state.filename, unit, None, "hit")
                     continue
                 payload, outcome = _compute_unit_payload(
                     pipeline, state.plan, unit.uid, resolver)
@@ -1058,7 +1152,7 @@ def _check_units_parallel(active: List[_FileState], options: DriverOptions,
                 if payload is not None:
                     state.resolve(unit, payload)
                     if stats is not None:
-                        stats.note(state.filename, unit, 0.0, "hit")
+                        stats.note(state.filename, unit, None, "hit")
                     continue
             pending.append(unit.uid)
             pending_uids.add(unit.uid)
@@ -1104,23 +1198,50 @@ def _check_units_parallel(active: List[_FileState], options: DriverOptions,
     effective = _effective_jobs(jobs, pending_units, len(unique))
     if effective <= 1:
         session.pool_stats["serial_batches"] += 1
+        _REGISTRY.inc("pool.serial_batches")
         compute_serially()
     else:
+        # Each shard gets its own synthetic tid row: the dispatch windows
+        # overlap each other by design, and separate rows keep the B/E
+        # stack discipline intact per (pid, tid).  Worker spans come back
+        # in the result payload and are rebased onto this timeline under
+        # the worker's own pid, temporally inside their shard window.
+        traced = _TRACER.enabled
+        begun: List[int] = []
+        ended = 0
         try:
             executor = session.acquire_pool(effective, options)
-            futures = [executor.submit(_worker_check_units, shard)
-                       for shard in _shard(shipped,
-                                           min(effective, len(shipped)))]
-            for future in futures:
-                for position, payloads in future.result():
+            shards = _shard(shipped, min(effective, len(shipped)))
+            futures = []
+            for shard_index, shard in enumerate(shards):
+                if traced:
+                    _TRACER.begin("pool.shard",
+                                  tid=SHARD_TID_BASE + shard_index,
+                                  shard=shard_index, files=len(shard))
+                    begun.append(shard_index)
+                futures.append(executor.submit(_worker_check_units, shard))
+            for shard_index, future in enumerate(futures):
+                shard_results, trace_payload = future.result()
+                for position, payloads in shard_results:
                     computed[position] = payloads
+                if traced:
+                    _TRACER.merge_worker(trace_payload)
+                    _TRACER.end("pool.shard",
+                                tid=SHARD_TID_BASE + shard_index)
+                    ended += 1
             session.pool_stats["parallel_batches"] += 1
+            _REGISTRY.inc("pool.parallel_batches")
         except (OSError, PermissionError,
                 concurrent.futures.process.BrokenProcessPool):
             # A broken/unspawnable pool is dropped (the next batch may
             # retry); this batch completes in-process.
+            if traced:
+                for shard_index in begun[ended:]:
+                    _TRACER.end("pool.shard",
+                                tid=SHARD_TID_BASE + shard_index)
             session.discard_pool()
             session.pool_stats["serial_batches"] += 1
+            _REGISTRY.inc("pool.serial_batches")
             compute_serially()
 
     for job_index, (state, pending) in enumerate(unit_jobs):
@@ -1135,6 +1256,5 @@ def _check_units_parallel(active: List[_FileState], options: DriverOptions,
                 record(key, payload)
             state.resolve(unit, payload)
             if stats is not None:
-                stats.note(state.filename, unit,
-                           0.0 if is_duplicate else None,
-                           "hit" if is_duplicate else "checked")
+                stats.note(state.filename, unit, None,
+                           "skipped" if is_duplicate else "checked")

@@ -53,6 +53,7 @@ from ..infer.schemes import Scheme, TypeEnv
 from ..pretty.printer import PrinterOptions, render_scheme
 from ..surface.ast import FunBind, Module, TypeSig
 from ..surface.prelude import prelude_env
+from ..telemetry import REGISTRY as _REGISTRY, TRACER as _TRACER
 from .depgraph import CheckUnit, ModulePlan, build_plan
 
 __all__ = [
@@ -395,19 +396,27 @@ class Pipeline:
                                                          List[Diagnostic]]:
         from ..frontend.parser import parse_module_incremental
 
+        traced = _TRACER.enabled
+        if traced:
+            _TRACER.begin("parse", file=filename)
         try:
-            return parse_module_incremental(source, filename,
-                                            memo=self._block_memo), []
-        except ParseError as exc:
-            span = Span(exc.line or 1, exc.column or 1,
-                        exc.line or 1, exc.column or 1)
-            message = str(exc)
-            prefix = f"{exc.line}:{exc.column}: "
-            if message.startswith(prefix):
-                # The span already carries the position; don't print it twice.
-                message = message[len(prefix):]
-            return None, [Diagnostic("error", "parse", message,
-                                     filename, span)]
+            try:
+                return parse_module_incremental(source, filename,
+                                                memo=self._block_memo), []
+            except ParseError as exc:
+                span = Span(exc.line or 1, exc.column or 1,
+                            exc.line or 1, exc.column or 1)
+                message = str(exc)
+                prefix = f"{exc.line}:{exc.column}: "
+                if message.startswith(prefix):
+                    # The span already carries the position; don't print it
+                    # twice.
+                    message = message[len(prefix):]
+                return None, [Diagnostic("error", "parse", message,
+                                         filename, span)]
+        finally:
+            if traced:
+                _TRACER.end("parse")
 
     # -- infer + levity + default -------------------------------------------
 
@@ -418,7 +427,8 @@ class Pipeline:
         if parsed is None:
             result.ok = False
             return result
-        plan = build_plan(parsed)
+        with _TRACER.span("depgraph", file=filename):
+            plan = build_plan(parsed)
         outcomes = self.check_plan(plan)
         self.assemble(plan, outcomes, result)
         result.ok = not result.errors
@@ -490,6 +500,19 @@ class Pipeline:
         filename = parsed.filename
         span = parsed.decl_span_list[decl_index]
         signature = signatures.get(decl.name)
+        traced = _TRACER.enabled
+        if traced:
+            _TRACER.begin("unit.infer", binding=decl.name, file=filename)
+        try:
+            return self._check_member_inner(parsed, decl_index, decl,
+                                            filename, span, signature, env)
+        finally:
+            if traced:
+                _TRACER.end("unit.infer")
+
+    def _check_member_inner(self, parsed: ParsedModule, decl_index: int,
+                            decl, filename: str, span, signature,
+                            env: TypeEnv) -> MemberOutcome:
         inferencer = Inferencer(self.options.infer_options(),
                                 spans=parsed.expr_spans)
         try:
@@ -669,7 +692,7 @@ class Session:
         #: observable to benchmarks and tests.
         self._pool = None
         self._pool_size = 0
-        self._pool_options: Optional[dict] = None
+        self._pool_options: Optional[tuple] = None
         self._pool_finalizer = None
         self.pool_stats: Dict[str, int] = {
             "pools_created": 0,
@@ -702,18 +725,24 @@ class Session:
 
         options_state = _dataclasses.asdict(options if options is not None
                                             else self.options)
+        # Tracing state is baked into the workers at init, so it is part
+        # of the pool's identity: enabling --trace between batches must
+        # respawn the pool rather than reuse untraced workers.
+        pool_key = (options_state, _TRACER.enabled)
         if self._pool is not None:
-            if self._pool_size >= jobs and self._pool_options == options_state:
+            if self._pool_size >= jobs and self._pool_options == pool_key:
                 self.pool_stats["pools_reused"] += 1
+                _REGISTRY.inc("pool.pools_reused")
                 return self._pool
             self._shutdown_pool()
         pool = ProcessPoolExecutor(max_workers=jobs,
                                    initializer=_worker_init,
-                                   initargs=(options_state,))
+                                   initargs=(options_state, _TRACER.enabled))
         self._pool = pool
         self._pool_size = jobs
-        self._pool_options = options_state
+        self._pool_options = pool_key
         self.pool_stats["pools_created"] += 1
+        _REGISTRY.inc("pool.pools_created")
         import weakref
 
         self._pool_finalizer = weakref.finalize(self, _shutdown_executor,
@@ -843,6 +872,7 @@ class Session:
                 else cache
             sources, codegen_units = load_codegen(cache_obj, check,
                                                   self.options)
+        traced = _TRACER.enabled
         try:
             program = _program_from_check(module, check)
             evaluator = Evaluator(program, compiled=compiled,
@@ -856,9 +886,16 @@ class Session:
                     store_codegen(cache_obj, codegen_units,
                                   evaluator._compiled)
                     cache_obj.save()
-            value = evaluator.force(evaluator.eval(entry_bind.rhs))
+            if traced:
+                _TRACER.begin("eval.run", entry=entry, file=filename)
+            try:
+                value = evaluator.force(evaluator.eval(entry_bind.rhs))
+            finally:
+                if traced:
+                    _TRACER.end("eval.run")
             result.value = value.show(evaluator.heap)
             result.costs = evaluator.costs.as_dict()
+            _REGISTRY.merge_counts(result.costs, "eval.")
             result.ok = True
         except ReproError as exc:
             check.diagnostics.append(Diagnostic(

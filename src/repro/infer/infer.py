@@ -38,6 +38,7 @@ from ..core.errors import (
     TypeCheckError,
 )
 from ..core.kinds import TYPE_LIFTED, TypeKind
+from ..telemetry import REGISTRY as _REGISTRY, TRACER as _TRACER
 from ..core.rep import Rep, RepVar
 from ..surface.ast import (
     Alternative,
@@ -171,6 +172,10 @@ class Inferencer:
         #: span of the offending *sub-expression* instead of leaving the
         #: caller to fall back to the whole binding.
         self.spans = spans
+        #: Solver-op counts already folded into the telemetry registry;
+        #: ``_publish_solver_stats`` publishes only the delta since the
+        #: last fold so re-using one inferencer never double-counts.
+        self._solver_published: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ utils
 
@@ -474,7 +479,27 @@ class Inferencer:
                 raise exc_type(f"in the binding for {name!r}: {first.pretty()}")
 
         self._require_no_residual(name, residual)
+        self._publish_solver_stats()
         return BindingResult(name, scheme, report, defaulted, tuple(residual))
+
+    def _publish_solver_stats(self) -> None:
+        """Fold this state's solver counters into the global registry.
+
+        Runs once per successfully checked binding (``solver.*`` metric
+        names mirror :class:`repro.infer.unify.UnifierStats` fields).
+        """
+        stats = getattr(self.state, "stats", None)
+        if stats is None:
+            # Stand-in solver states (the benchmarks' legacy baseline)
+            # carry no counters; nothing to publish.
+            return
+        counts = stats.as_dict()
+        published = self._solver_published
+        for key, value in counts.items():
+            delta = value - published.get(key, 0)
+            if delta:
+                _REGISTRY.counter("solver." + key).inc(delta)
+        self._solver_published = counts
 
     def _infer_unsigned(self, env: TypeEnv, name: str,
                         params: Sequence[str], rhs: Expr
@@ -495,11 +520,18 @@ class Inferencer:
         full_type: SType = rhs_type
         if param_types:
             full_type = fun(*param_types, rhs_type)
-        self.state.unify_types(self_type, full_type)
-        wanted = self._discharge(wanted)
-        result: GeneralisationResult = generalise(
-            self.state, env, full_type, wanted,
-            generalise_reps=self.options.generalise_reps)
+        traced = _TRACER.enabled
+        if traced:
+            _TRACER.begin("unit.unify", binding=name)
+        try:
+            self.state.unify_types(self_type, full_type)
+            wanted = self._discharge(wanted)
+            result: GeneralisationResult = generalise(
+                self.state, env, full_type, wanted,
+                generalise_reps=self.options.generalise_reps)
+        finally:
+            if traced:
+                _TRACER.end("unit.unify")
         return result.scheme, list(result.residual_constraints), \
             result.defaulted_rep_vars
 
@@ -525,8 +557,15 @@ class Inferencer:
                 local_env = local_env.bind(
                     param, Scheme.monomorphic(current.argument))
                 current = current.result
-            wanted = self.check(local_env, rhs, current)
-            residual = self._discharge(wanted)
+            traced = _TRACER.enabled
+            if traced:
+                _TRACER.begin("unit.unify", binding=name, mode="check")
+            try:
+                wanted = self.check(local_env, rhs, current)
+                residual = self._discharge(wanted)
+            finally:
+                if traced:
+                    _TRACER.end("unit.unify")
             return declared, residual
         finally:
             self.givens = previous_givens

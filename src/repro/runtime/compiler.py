@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..telemetry import REGISTRY as _REGISTRY, TRACER as _TRACER
 from ..surface.ast import (
     EAnn,
     EApp,
@@ -141,17 +142,39 @@ class CompiledFunction:
         already prepared at the call site, so the trampoline below jumps
         straight to the target's body.
         """
+        if _REGISTRY.enabled:
+            _REGISTRY.counter("runtime.compiled_calls").inc()
         if self._coerce:
             force = self.runtime.force
             args = tuple(force(a) if s else a
                          for s, a in zip(self.param_strict, args))
         result = self.body(*args)
+        if type(result) is TailCall:
+            # Telemetry decides the loop variant *once* before bouncing:
+            # the disabled trampoline is byte-identical to the untraced
+            # original (one attribute load + branch per call, not per
+            # bounce).
+            if _REGISTRY.enabled:
+                return self._bounce_counted(result)
+            while type(result) is TailCall:
+                target = result.target
+                if type(target) is CompiledFunction:
+                    result = target.body(*result.args)
+                else:                    # a FallbackFunction: no trampoline
+                    result = target.call(*result.args)
+        return result
+
+    def _bounce_counted(self, result):
+        """The metered trampoline (``runtime.trampoline_bounces``)."""
+        bounces = 0
         while type(result) is TailCall:
+            bounces += 1
             target = result.target
             if type(target) is CompiledFunction:
                 result = target.body(*result.args)
             else:                        # a FallbackFunction: no trampoline
                 result = target.call(*result.args)
+        _REGISTRY.counter("runtime.trampoline_bounces").inc(bounces)
         return result
 
     def value_ref(self):
@@ -186,6 +209,8 @@ class FallbackFunction:
         return self.evaluator._tree_closure_value(self.function)
 
     def call(self, *args):
+        if _REGISTRY.enabled:
+            _REGISTRY.counter("runtime.fallback_calls").inc()
         value = self.value_ref()
         evaluator = self.evaluator
         for argument in args:
@@ -798,6 +823,10 @@ class CompiledProgram:
             provided = _MISSING if sources is None else \
                 sources.get(name, _MISSING)
             self._install(name, function, provided)
+        # Fold point: once per program build, not per call.
+        _REGISTRY.inc("codegen.compiled", self.codegen_count)
+        _REGISTRY.inc("codegen.cache_hits", self.cache_hits)
+        _REGISTRY.inc("codegen.fallbacks", len(self.fallback_names))
 
     def make_lambda(self, body: Callable) -> CompiledFunction:
         return CompiledFunction("", 1, (False,), body, self.evaluator)
@@ -806,10 +835,16 @@ class CompiledProgram:
                  provided) -> None:
         source = provided
         if source is _MISSING:
+            traced = _TRACER.enabled
+            if traced:
+                _TRACER.begin("codegen.lower", binding=name)
             try:
                 source = generate_function_source(function, self._info)
             except UnsupportedExpression:
                 source = None
+            finally:
+                if traced:
+                    _TRACER.end("codegen.lower")
             self.codegen_count += 1
         else:
             self.cache_hits += 1

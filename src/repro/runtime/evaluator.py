@@ -315,9 +315,14 @@ class Evaluator:
         env = env or {}
         if self._compiled is not None:
             from .compiler import FALLBACK
+            from ..telemetry import REGISTRY as _registry
             value = self._compiled.eval_expression(expr, env)
             if value is not FALLBACK:
+                if _registry.enabled:
+                    _registry.counter("runtime.compiled_exprs").inc()
                 return value
+            if _registry.enabled:
+                _registry.counter("runtime.expr_fallbacks").inc()
         return self._eval(expr, env)
 
     def force(self, value: Value) -> Value:

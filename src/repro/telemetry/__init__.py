@@ -1,0 +1,49 @@
+"""repro.telemetry — zero-dependency tracing + metrics for the pipeline.
+
+Two process-global singletons:
+
+* :data:`TRACER` — nested spans exported as Chrome trace-event JSON
+  (``--trace out.json``, loadable in Perfetto); worker-process spans are
+  shipped back through the shard IPC payload and rebased onto the parent
+  timeline with their own pid rows.
+* :data:`REGISTRY` — the unified Counter/Gauge/Histogram registry that
+  absorbs the pipeline's formerly scattered counters (solver ops, cache
+  hit/miss, pool reuse, codegen, compiled-runtime calls).
+
+Both are off by default and near-free when off; see docs/OBSERVABILITY.md
+for the span taxonomy and metric names.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    stats_document,
+)
+from .trace import (
+    SHARD_TID_BASE,
+    TRACE_ENV,
+    TRACER,
+    Tracer,
+    env_trace_path,
+    validate_events,
+    validate_trace_document,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "stats_document",
+    "SHARD_TID_BASE",
+    "TRACE_ENV",
+    "TRACER",
+    "Tracer",
+    "env_trace_path",
+    "validate_events",
+    "validate_trace_document",
+]

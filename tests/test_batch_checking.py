@@ -484,5 +484,11 @@ class TestReviewRegressions:
                      str(path)]) == 0
         captured = capsys.readouterr()
         payload = json.loads(captured.out)  # stdout is one JSON document
-        assert payload[0]["ok"]
-        assert "-- stats --" in captured.err
+        assert payload["results"][0]["ok"]
+        assert payload["stats"]["check"]["checked"] > 0
+        assert "batch.units_checked" in payload["stats"]["metrics"]["counters"]
+        # Plain --json (no --stats) keeps the bare result-list shape.
+        assert main(["check", "--json", str(path)]) == 0
+        captured = capsys.readouterr()
+        bare = json.loads(captured.out)
+        assert isinstance(bare, list) and bare[0]["ok"]

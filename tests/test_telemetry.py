@@ -1,0 +1,387 @@
+"""Tests for the repro.telemetry layer (ISSUE-7).
+
+Covers the subsystem's load-bearing guarantees:
+
+* trace export is well-formed Chrome trace-event JSON — every ``B`` has a
+  matching ``E`` and sibling spans never overlap on a (pid, tid) row;
+* worker-process spans ship back through the shard IPC payload and merge
+  onto the parent timeline with distinct pids, inside their shard window;
+* a disabled tracer is allocation-free on the hot path (gc-count pin);
+* the metrics registry resets **in place** (held ``Counter`` references
+  survive), which is what stops benchmark E-sections sharing one process
+  from leaking counters into each other;
+* ``CheckStats`` rows carry an explicit ``source`` (``hit`` / ``checked``
+  / ``skipped``) and cache hits no longer masquerade as 0.0-second units.
+"""
+
+import gc
+import json
+import os
+import sys
+
+import pytest
+
+from repro.__main__ import main
+from repro.driver import DriverOptions, Session
+from repro.driver.batch import CheckStats, ResultCache, check_many_sharded
+from repro.telemetry import (
+    REGISTRY,
+    TRACER,
+    MetricsRegistry,
+    Tracer,
+    validate_events,
+    validate_trace_document,
+)
+from repro.telemetry.trace import SHARD_TID_BASE, _NOOP_SPAN
+
+TWO_UNIT_MODULE = """\
+helper :: Int# -> Int#
+helper x = x +# 1#
+main :: Int
+main = 1 + 2
+"""
+
+SECOND_MODULE = """\
+double :: Int# -> Int#
+double x = x +# x
+main :: Int
+main = 40 + 2
+"""
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_telemetry():
+    """Tests drive the process-global singletons; leave them pristine."""
+    TRACER.disable()
+    TRACER.drain()
+    REGISTRY.enabled = False
+    REGISTRY.reset()
+    yield
+    TRACER.disable()
+    TRACER.drain()
+    REGISTRY.enabled = False
+    REGISTRY.reset()
+
+
+# ---------------------------------------------------------------------------
+# Span well-formedness
+# ---------------------------------------------------------------------------
+
+
+class TestTraceExport:
+    def test_traced_check_emits_wellformed_nested_spans(self):
+        TRACER.enable()
+        session = Session()
+        result = session.check(TWO_UNIT_MODULE, "t.lev")
+        assert result.ok
+        events = TRACER.drain()
+        validate_events(events)  # raises on any B/E violation
+        begins = [e["name"] for e in events if e["ph"] == "B"]
+        for expected in ("parse", "depgraph", "unit.infer", "unit.unify"):
+            assert expected in begins, f"missing {expected} span"
+        # unit.unify nests inside unit.infer: between a unit.infer B and
+        # its E there is a unify B (stack discipline already proved no
+        # sibling overlap; this pins the parent/child relationship).
+        names = [(e["ph"], e["name"]) for e in events
+                 if e["name"] in ("unit.infer", "unit.unify")]
+        infer_open = False
+        saw_nested = False
+        for ph, name in names:
+            if name == "unit.infer":
+                infer_open = ph == "B"
+            elif ph == "B" and infer_open:
+                saw_nested = True
+        assert saw_nested
+
+    def test_every_begin_has_an_end_even_on_type_errors(self):
+        TRACER.enable()
+        session = Session()
+        result = session.check("bad :: Int#\nbad = 1 +# True\n", "bad.lev")
+        assert not result.ok
+        validate_events(TRACER.drain())
+
+    def test_export_document_shape(self, tmp_path):
+        TRACER.enable()
+        Session().check(TWO_UNIT_MODULE, "t.lev")
+        path = str(tmp_path / "trace.json")
+        TRACER.write(path)
+        with open(path) as handle:
+            doc = json.load(handle)
+        events = validate_trace_document(doc)
+        assert doc["displayTimeUnit"] == "ms"
+        assert any(e["ph"] == "M" and e["name"] == "process_name"
+                   for e in events)
+
+    def test_validate_events_rejects_overlapping_siblings(self):
+        events = [
+            {"name": "a", "ph": "B", "ts": 0.0, "pid": 1, "tid": 0},
+            {"name": "b", "ph": "B", "ts": 1.0, "pid": 1, "tid": 0},
+            {"name": "a", "ph": "E", "ts": 2.0, "pid": 1, "tid": 0},
+            {"name": "b", "ph": "E", "ts": 3.0, "pid": 1, "tid": 0},
+        ]
+        with pytest.raises(ValueError, match="overlap"):
+            validate_events(events)
+
+    def test_validate_events_rejects_unclosed_span(self):
+        events = [{"name": "a", "ph": "B", "ts": 0.0, "pid": 1, "tid": 0}]
+        with pytest.raises(ValueError, match="unclosed"):
+            validate_events(events)
+
+
+# ---------------------------------------------------------------------------
+# Worker-span merging
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerMerge:
+    def test_merge_worker_rebases_and_keeps_pid(self):
+        parent = Tracer()
+        parent.enable()
+        payload = {
+            "pid": 4242,
+            # The worker's wall epoch is 1ms after the parent's.
+            "epoch_wall": parent.epoch_wall + 0.001,
+            "process_name": "repro worker",
+            "events": [
+                {"name": "w", "ph": "B", "ts": 10.0, "pid": 4242, "tid": 0},
+                {"name": "w", "ph": "E", "ts": 20.0, "pid": 4242, "tid": 0},
+            ],
+        }
+        parent.merge_worker(payload)
+        events = parent.drain()
+        spans = [e for e in events if e["ph"] in "BE"]
+        assert [e["pid"] for e in spans] == [4242, 4242]
+        # Wall-clock epochs are ~1e9 s, so the delta carries ~0.1 µs of
+        # float rounding — irrelevant at trace resolution.
+        assert spans[0]["ts"] == pytest.approx(1010.0, abs=1.0)
+        assert spans[1]["ts"] == pytest.approx(1020.0, abs=1.0)
+        assert any(e["ph"] == "M" and e["pid"] == 4242 for e in events)
+
+    def test_parallel_check_merges_worker_spans_under_shards(self, tmp_path,
+                                                            monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "always")
+        TRACER.enable()
+        with Session() as session:
+            results = session.check_many(
+                [("a.lev", TWO_UNIT_MODULE), ("b.lev", SECOND_MODULE)],
+                jobs=2, stats=CheckStats())
+        assert all(r.ok for r in results)
+        events = TRACER.drain()
+        validate_events(events)
+        parent_pid = os.getpid()
+        worker_pids = {e["pid"] for e in events
+                       if e["ph"] in "BE" and e["pid"] != parent_pid}
+        assert worker_pids, "no worker spans merged back"
+        # Shard dispatch windows live on synthetic tids of the parent.
+        windows = {}
+        for event in events:
+            if event["name"] == "pool.shard":
+                assert event["tid"] >= SHARD_TID_BASE
+                windows.setdefault(event["tid"], {})[event["ph"]] = \
+                    event["ts"]
+        assert windows
+        for spans in windows.values():
+            assert spans["B"] <= spans["E"]
+        # Every worker span falls inside some shard dispatch window.
+        for event in events:
+            if event["ph"] in "BE" and event["pid"] != parent_pid:
+                assert any(w["B"] <= event["ts"] <= w["E"]
+                           for w in windows.values()), \
+                    f"worker span outside every shard window: {event}"
+
+    def test_cli_trace_flag_writes_valid_document(self, tmp_path, capsys):
+        source = tmp_path / "t.lev"
+        source.write_text(TWO_UNIT_MODULE)
+        out = tmp_path / "trace.json"
+        assert main(["check", str(source), "--trace", str(out)]) == 0
+        capsys.readouterr()
+        with open(out) as handle:
+            doc = json.load(handle)
+        events = validate_trace_document(doc)
+        assert any(e["name"] == "unit.infer" for e in events)
+
+
+# ---------------------------------------------------------------------------
+# Disabled-path cost
+# ---------------------------------------------------------------------------
+
+
+class TestDisabledCost:
+    def test_disabled_span_is_the_noop_singleton(self):
+        tracer = Tracer()
+        assert tracer.span("anything") is _NOOP_SPAN
+        with tracer.span("anything"):
+            pass
+        assert tracer.drain() == []
+
+    def test_disabled_tracer_allocates_nothing(self):
+        tracer = Tracer()
+        spins = [None] * 1000
+
+        def spin():
+            for _ in spins:
+                tracer.span("hot")
+                tracer.begin("hot")
+                tracer.end("hot")
+
+        spin()  # warm every code path (method caches, freelists)
+        gc.collect()
+        before = sys.getallocatedblocks()
+        spin()
+        after = sys.getallocatedblocks()
+        # The sampling itself costs a couple of blocks (the result ints);
+        # an allocating implementation would leak thousands over 3000
+        # calls.  The enabled contrast below proves the probe can see it.
+        assert after - before <= 8, \
+            f"disabled tracer calls leaked {after - before} blocks"
+        tracer.enable()
+        gc.collect()
+        before = sys.getallocatedblocks()
+        spin()
+        after = sys.getallocatedblocks()
+        assert after - before > 1000, \
+            "probe failed to observe the enabled tracer's allocations"
+
+    def test_disabled_registry_hot_counters_stay_zero(self):
+        from repro.runtime.evaluator import Evaluator
+        from repro.runtime.programs import sum_to_unboxed_module
+        from repro.runtime.values import UnboxedInt
+
+        program_module = sum_to_unboxed_module()
+        from repro.runtime.evaluator import Program
+
+        evaluator = Evaluator(Program.from_module(program_module),
+                              compiled=True)
+        evaluator.run("sumTo#", UnboxedInt(0), UnboxedInt(50))
+        counters = REGISTRY.snapshot()["counters"]
+        assert counters.get("runtime.compiled_calls", 0) == 0
+        assert counters.get("runtime.trampoline_bounces", 0) == 0
+        # The fold-point counters publish regardless of the enabled flag.
+        assert counters.get("codegen.compiled", 0) > 0
+
+    def test_enabled_registry_meters_the_trampoline(self):
+        from repro.runtime.evaluator import Evaluator, Program
+        from repro.runtime.programs import sum_to_unboxed_module
+        from repro.runtime.values import UnboxedInt
+
+        REGISTRY.enable()
+        evaluator = Evaluator(Program.from_module(sum_to_unboxed_module()),
+                              compiled=True)
+        evaluator.run("sumTo#", UnboxedInt(0), UnboxedInt(50))
+        counters = REGISTRY.snapshot()["counters"]
+        assert counters["runtime.compiled_calls"] > 0
+        assert counters["runtime.trampoline_bounces"] >= 50
+
+
+# ---------------------------------------------------------------------------
+# Registry reset semantics (the benchmark section-leak bugfix)
+# ---------------------------------------------------------------------------
+
+
+class TestRegistryReset:
+    def test_reset_zeroes_in_place_preserving_identity(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        counter.inc(5)
+        gauge = registry.gauge("g")
+        gauge.set(7)
+        histogram = registry.histogram("h")
+        histogram.observe(3.5)
+        registry.reset()
+        assert registry.counter("x") is counter and counter.value == 0
+        assert registry.gauge("g") is gauge and gauge.value == 0
+        assert histogram.count == 0 and histogram.min is None
+        counter.inc(2)  # a held reference keeps counting after reset
+        assert registry.snapshot()["counters"]["x"] == 2
+
+    def test_sections_do_not_leak_through_drain(self):
+        bench_dir = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "benchmarks")
+        sys.path.insert(0, bench_dir)
+        try:
+            import benchreport
+        finally:
+            sys.path.remove(bench_dir)
+        # Section 1: a check batch populates solver/batch counters.
+        Session().check_many([("a.lev", TWO_UNIT_MODULE)], stats=CheckStats())
+        first = benchreport.drain_registry()
+        assert first["counters"]["batch.units_checked"] == 2
+        # Section 2 starts from zero — nothing carried over.
+        Session().check_many([("b.lev", SECOND_MODULE)], stats=CheckStats())
+        second = benchreport.drain_registry()
+        assert second["counters"]["batch.units_checked"] == 2
+        assert second["counters"]["batch.files"] == 1
+
+    def test_merge_counts_prefixes(self):
+        registry = MetricsRegistry()
+        registry.merge_counts({"finds": 3, "unions": 1}, "solver.")
+        counters = registry.snapshot()["counters"]
+        assert counters == {"solver.finds": 3, "solver.unions": 1}
+
+
+# ---------------------------------------------------------------------------
+# CheckStats source field
+# ---------------------------------------------------------------------------
+
+
+class TestCheckStatsSource:
+    def test_hits_record_none_seconds_with_hit_source(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache.json"))
+        cold = CheckStats()
+        check_many_sharded([("a.lev", TWO_UNIT_MODULE)], DriverOptions(),
+                           cache=cache, stats=cold)
+        assert cold.checked == 2 and cold.cache_hits == 0
+        assert all(t.source == "checked" and t.seconds is not None
+                   for t in cold.timings)
+        warm_cache = ResultCache(str(tmp_path / "cache.json"))
+        warm = CheckStats()
+        check_many_sharded([("a.lev", TWO_UNIT_MODULE)], DriverOptions(),
+                           cache=warm_cache, stats=warm)
+        # The whole file short-circuits on the file-level entry.
+        assert warm.file_hits == 1 and warm.units == 0
+
+    def test_unit_hits_are_untimed_not_zero_seconds(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache.json"))
+        check_many_sharded([("a.lev", TWO_UNIT_MODULE)], DriverOptions(),
+                           cache=cache, stats=CheckStats())
+        edited = TWO_UNIT_MODULE.replace("1 + 2", "2 + 3")
+        stats = CheckStats()
+        check_many_sharded([("a.lev", edited)], DriverOptions(),
+                           cache=cache, stats=stats)
+        hits = [t for t in stats.timings if t.source == "hit"]
+        checked = [t for t in stats.timings if t.source == "checked"]
+        assert hits and checked
+        assert all(t.seconds is None for t in hits)
+        rendered = stats.pretty()
+        assert "untimed units" in rendered and "hit: 1" in rendered
+
+    def test_skipped_rows_render_distinctly(self):
+        stats = CheckStats()
+
+        class FakeUnit:
+            names = ("dup",)
+
+        stats.note("a.lev", FakeUnit(), None, "skipped")
+        assert stats.skipped == 1 and stats.cache_hits == 0
+        assert "skipped: 1" in stats.pretty()
+        assert stats.as_dict()["timings"][0]["source"] == "skipped"
+
+    def test_duplicate_jobs_count_as_skipped_in_parallel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "always")
+        stats = CheckStats()
+        with Session() as session:
+            results = session.check_many(
+                [("a.lev", TWO_UNIT_MODULE), ("b.lev", TWO_UNIT_MODULE)],
+                jobs=2, stats=stats)
+        assert all(r.ok for r in results)
+        assert stats.skipped == 2  # b.lev deduplicated against a.lev
+        assert stats.checked == 2
+
+    def test_outcome_alias_still_readable(self):
+        stats = CheckStats()
+
+        class FakeUnit:
+            names = ("x",)
+
+        stats.note("a.lev", FakeUnit(), 0.25, "checked")
+        assert stats.timings[0].outcome == "checked"
