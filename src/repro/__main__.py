@@ -11,6 +11,14 @@ Subcommands:
   binding's source slice and the schemes of the bindings it uses, so one
   edit re-checks only its dependents); ``--stats`` prints per-binding
   timings and cache hit/miss counts.
+* ``build DIR|file.lev [...]`` — check a multi-module project: files name
+  themselves with ``module M where`` headers and see each other's exports
+  through ``import N`` declarations.  The module DAG is walked level by
+  level (import cycles are rejected with source spans); with ``--cache``
+  the build is incremental across module boundaries — editing a function
+  body without changing its exported scheme re-checks exactly one
+  binding, and no importing module is even re-parsed.  ``--run`` then
+  evaluates ``--entry`` over the merged project.  See docs/PROJECTS.md.
 * ``run file.lev [...]`` — check, then evaluate ``--entry`` (default
   ``main``) on the cost-model machine; when the entry fits the L fragment
   it is also compiled via Figure 7 and cross-checked on the M machine.
@@ -137,6 +145,63 @@ def _cmd_check(args: argparse.Namespace) -> int:
         if stats is not None:
             _print_stats_text(sys.stdout, stats)
     return 0 if all(result.ok for result in results) else 1
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from .driver.batch import CheckStats
+    from .driver.project import check_project, discover_sources, run_project
+
+    session = Session(_options(args))
+    try:
+        sources = discover_sources(args.paths)
+    except OSError as exc:
+        raise _CliError(f"cannot read {exc.filename or '?'}: "
+                        f"{exc.strerror or exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise _CliError(f"cannot decode project source: {exc}") from exc
+    if not sources:
+        raise _CliError("no .lev files found under "
+                        + ", ".join(args.paths))
+    stats = CheckStats() if args.stats else None
+    check = check_project(sources, jobs=args.jobs, cache=args.cache,
+                          session=session, stats=stats)
+    run_result = None
+    if args.run and check.ok:
+        run_result = run_project(session, check, entry=args.entry,
+                                 cache=args.cache)
+
+    source_of = dict(sources)
+    if args.json:
+        document = {
+            "ok": check.ok,
+            "modules": [
+                {"file": node.filename, "module": node.name,
+                 "level": node.level,
+                 "imports": list(node.import_names)}
+                for node in check.plan.nodes],
+            "results": json.loads(_check_json(check.results)),
+        }
+        if run_result is not None:
+            document["run"] = _run_json(run_result)
+        if stats is not None:
+            document["stats"] = stats_document(check=stats)
+        print(json.dumps(document, indent=2))
+    else:
+        for result in check.results:
+            text = result.pretty(source=source_of.get(result.filename))
+            if text.strip():
+                print(text)
+        checkable = sum(len(level) for level in check.plan.levels)
+        print(f"build: {len(sources)} module(s), "
+              f"{len(check.plan.levels)} level(s), "
+              f"{checkable} checked, "
+              f"{len(check.plan.graph_diagnostics)} skipped")
+        if run_result is not None:
+            print(run_result.pretty())
+        if stats is not None:
+            _print_stats_text(sys.stdout, stats)
+    ok = check.ok and (run_result is None or run_result.ok)
+    return 0 if ok else 1
 
 
 def _run_json(result) -> dict:
@@ -302,6 +367,44 @@ def build_parser() -> argparse.ArgumentParser:
                             "processes) as Chrome trace-event JSON, "
                             "loadable in Perfetto")
     check.set_defaults(func=_cmd_check)
+
+    build = sub.add_parser(
+        "build", help="check a multi-module project (module/import files; "
+                      "see docs/PROJECTS.md)")
+    build.add_argument("paths", nargs="+",
+                       help="project directories (walked recursively for "
+                            ".lev files) and/or individual .lev files")
+    build.add_argument("--run", action="store_true",
+                       help="after a clean build, evaluate --entry over the "
+                            "merged project")
+    build.add_argument("--entry", default="main",
+                       help="entry binding for --run (default: main)")
+    build.add_argument("--compiled", action="store_true",
+                       help="with --run: evaluate through the closure-"
+                            "compilation backend")
+    build.add_argument("--explicit-reps", action="store_true",
+                       help="print schemes with -fprint-explicit-runtime-reps")
+    build.add_argument("--no-levity-check", action="store_true",
+                       help="skip the Section 5.1 levity post-pass (ablation)")
+    build.add_argument("--json", action="store_true",
+                       help="emit one machine-readable JSON document "
+                            "(module graph, per-file results, stats)")
+    build.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="shard each DAG level's modules across N worker "
+                            "processes (default: 1, in-process)")
+    build.add_argument("--cache", default=None, metavar="PATH",
+                       help="cross-module incremental cache: unit keys fold "
+                            "in imported schemes, so a body-only edit "
+                            "re-checks one unit and no dependent module "
+                            "re-parses (docs/PROJECTS.md)")
+    build.add_argument("--stats", action="store_true",
+                       help="print unit/cache counters and the unified "
+                            "telemetry metrics")
+    build.add_argument("--trace", default=None, metavar="PATH",
+                       help="write pipeline spans (project.graph, "
+                            "module.resolve, workers) as Chrome trace-event "
+                            "JSON")
+    build.set_defaults(func=_cmd_build)
 
     run = sub.add_parser("run", help="check then evaluate an entry point")
     run.add_argument("files", nargs="+", help=".lev source files")

@@ -20,6 +20,10 @@ reproduction as one pipeline::
   worker processes with a binding-level incremental result cache
   (``Session.check_many(jobs=..., cache=..., stats=...)`` and
   ``python -m repro check --jobs N --cache PATH --stats``);
+* :mod:`repro.driver.project` — the module-level layer on top: ``module``
+  / ``import`` resolution, the project DAG with cycle rejection, and
+  cross-module incremental builds (``Session.check_project`` and
+  ``python -m repro build DIR``);
 * :mod:`repro.driver.lower` — the bridge from checked surface programs
   into the formal calculus L (and from there through ``compile/`` to the
   M machine).
@@ -31,6 +35,15 @@ a thin wrapper over this package.
 from .batch import CheckStats, ResultCache, check_many_sharded
 from .depgraph import CheckUnit, ModulePlan, build_plan
 from .lower import LoweringError, lower_binding, lower_entry, lower_type
+from .project import (
+    ModuleNode,
+    ProjectCheck,
+    ProjectPlan,
+    build_project_plan,
+    check_project,
+    discover_sources,
+    run_project,
+)
 from .session import (
     BindingSummary,
     CheckResult,
@@ -52,13 +65,20 @@ __all__ = [
     "Diagnostic",
     "DriverOptions",
     "LoweringError",
+    "ModuleNode",
     "ModulePlan",
     "Pipeline",
+    "ProjectCheck",
+    "ProjectPlan",
     "ResultCache",
     "RunResult",
     "Session",
     "build_plan",
+    "build_project_plan",
     "check_many_sharded",
+    "check_project",
+    "discover_sources",
+    "run_project",
     "lower_binding",
     "lower_entry",
     "lower_type",

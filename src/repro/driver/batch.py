@@ -86,8 +86,10 @@ __all__ = [
     "codegen_cache_key",
     "load_codegen",
     "options_fingerprint",
+    "outline_key",
     "payload_bytes",
     "payload_from_unit_outcome",
+    "project_file_key",
     "result_from_payload",
     "result_to_payload",
     "store_codegen",
@@ -97,7 +99,12 @@ __all__ = [
 #: Bump when the payload layout or the pipeline's observable output changes
 #: incompatibly; old cache entries then miss instead of deserialising junk.
 #: v2: binding-level units (one entry per unit, spans segment-relative).
-CACHE_SCHEMA = 2
+#: v3: project builds — unit keys fold in the canonical schemes of
+#: *imported* names the unit references, plus the ``outline:`` (module
+#: name/imports/foreign refs per source) and ``exports:`` (name → scheme
+#: rendering per project file key) side-tables.  v2 documents degrade to
+#: cold caches, never to errors.
+CACHE_SCHEMA = 3
 
 
 # ---------------------------------------------------------------------------
@@ -331,6 +338,35 @@ def unit_key(unit_source: str,
     return hasher.hexdigest()
 
 
+def project_file_key(source: str,
+                     ext_items: Iterable[Tuple[str, Optional[str]]],
+                     options: DriverOptions,
+                     _fingerprint: Optional[str] = None) -> str:
+    """File-level short-circuit key for a module checked inside a project.
+
+    ``ext_items`` pairs each *referenced imported name* with the canonical
+    rendering of its exported scheme, exactly as supplied to the module's
+    units — so a dependency edit that leaves every referenced scheme
+    unchanged keeps the whole module a file-level hit (no re-parse), while
+    a scheme change re-opens the module for its unit walk.  The ``pfile:``
+    prefix keeps project entries disjoint from single-file entries of the
+    same source (their payloads differ: import warnings).
+    """
+    return "pfile:" + unit_key(source, ext_items, options, _fingerprint)
+
+
+def outline_key(source: str, options: DriverOptions,
+                _fingerprint: Optional[str] = None) -> str:
+    """Key of a source's ``outline:`` side-table entry.
+
+    An outline is a pure function of the source text (module name, import
+    declarations with spans, union of foreign references) that lets the
+    project planner build the module graph for unchanged files without
+    re-parsing them.
+    """
+    return "outline:" + cache_key(source, options, _fingerprint)
+
+
 def codegen_cache_key(key: str) -> str:
     """Namespace a unit key for the codegen side-table.
 
@@ -364,6 +400,48 @@ def _codegen_payload_valid(payload: dict) -> bool:
     return True
 
 
+def _exports_payload_valid(payload: dict) -> bool:
+    """Shape-check an ``exports:`` side-table entry.
+
+    ``{"exports": null}`` is valid and marks a module that failed entirely
+    (did not parse): importers skip structurally instead of re-checking.
+    """
+    try:
+        exports = payload["exports"]
+        if exports is None:
+            return True
+        if not isinstance(exports, dict):
+            return False
+        for name, scheme_src in exports.items():
+            if not isinstance(name, str):
+                return False
+            if scheme_src is not None and not isinstance(scheme_src, str):
+                return False
+    except (KeyError, TypeError):
+        return False
+    return True
+
+
+def _outline_payload_valid(payload: dict) -> bool:
+    """Shape-check an ``outline:`` side-table entry."""
+    try:
+        name = payload["name"]
+        if name is not None and not isinstance(name, str):
+            return False
+        if not isinstance(payload["parse_error"], bool):
+            return False
+        for import_name, span in payload["imports"]:
+            if not isinstance(import_name, str):
+                return False
+            Span(*span)
+        for foreign in payload["foreign"]:
+            if not isinstance(foreign, str):
+                return False
+    except (KeyError, TypeError, ValueError, IndexError):
+        return False
+    return True
+
+
 # ---------------------------------------------------------------------------
 # The incremental cache
 # ---------------------------------------------------------------------------
@@ -374,7 +452,7 @@ class ResultCache:
 
     The on-disk format is one JSON document::
 
-        {"schema": 2, "entries": {"<sha256>": {"members": [...]}, ...}}
+        {"schema": 3, "entries": {"<sha256>": {"members": [...]}, ...}}
 
     Entries from an older :data:`CACHE_SCHEMA` are discarded wholesale on
     load.  ``hits``/``misses``/``stores`` counters make cache behaviour
@@ -402,6 +480,9 @@ class ResultCache:
         self.codegen_hits = 0
         self.codegen_misses = 0
         self.codegen_stores = 0
+        #: Project side-table counters (outlines + per-module exports).
+        self.outline_hits = 0
+        self.outline_misses = 0
         self._dirty = False
         if path is not None and os.path.exists(path):
             self.entries = self._load(path)
@@ -450,6 +531,40 @@ class ResultCache:
             return  # identical sources re-store nothing
         self.entries[key] = payload
         self.file_stores += 1
+        self._dirty = True
+
+    def lookup_exports(self, file_key: str) -> Optional[dict]:
+        """The ``exports:`` entry of a project file key, or None.
+
+        The returned payload's ``"exports"`` field is either a
+        ``{name: canonical scheme rendering | None}`` map or None (the
+        module failed entirely — e.g. did not parse)."""
+        payload = self.entries.get("exports:" + file_key)
+        if payload is None or not _exports_payload_valid(payload):
+            return None
+        return payload
+
+    def store_exports(self, file_key: str,
+                      exports: Optional[Dict[str, Optional[str]]]) -> None:
+        payload = {"exports": exports}
+        key = "exports:" + file_key
+        if self.entries.get(key) == payload:
+            return
+        self.entries[key] = payload
+        self._dirty = True
+
+    def lookup_outline(self, key: str) -> Optional[dict]:
+        payload = self.entries.get(key)
+        if payload is None or not _outline_payload_valid(payload):
+            self.outline_misses += 1
+            return None
+        self.outline_hits += 1
+        return payload
+
+    def store_outline(self, key: str, payload: dict) -> None:
+        if self.entries.get(key) == payload:
+            return
+        self.entries[key] = payload
         self._dirty = True
 
     def lookup_codegen(self, key: str) -> Optional[dict]:
@@ -724,7 +839,15 @@ class _SchemeResolver:
         return None
 
     def available_for(self, unit: CheckUnit) -> Dict[str, Optional[Scheme]]:
-        return {dep: self.scheme(dep) for dep in unit.deps}
+        available = {dep: self.scheme(dep) for dep in unit.deps}
+        # Foreign names resolve only when the srcs map has an entry for
+        # them (project mode seeds it with imported exports; a present-
+        # but-None entry means the exporting binding failed).  Absent
+        # names stay unbound: ordinary scope errors.
+        for name in unit.foreign:
+            if name in self.srcs:
+                available[name] = self.scheme(name)
+        return available
 
 
 def _compute_unit_payload(pipeline: Pipeline, plan: ModulePlan, uid: int,
@@ -741,13 +864,23 @@ def _compute_unit_payload(pipeline: Pipeline, plan: ModulePlan, uid: int,
 
 
 class _FileState:
-    """One input file's parse, plan, and per-unit resolution state."""
+    """One input file's parse, plan, and per-unit resolution state.
+
+    ``externals`` (project mode) maps imported names to the canonical
+    renderings of their exported schemes (None = the export failed); it
+    seeds ``scheme_srcs``, so foreign references resolve through exactly
+    the same machinery as local dependencies — including the worker IPC
+    path, which ships ``scheme_srcs`` wholesale.
+    """
 
     def __init__(self, index: int, filename: str, source: str,
-                 pipeline: Pipeline) -> None:
+                 pipeline: Pipeline,
+                 externals: Optional[Dict[str, Optional[str]]] = None,
+                 imports_resolved: bool = False) -> None:
         self.index = index
         self.filename = filename
         self.source = source
+        self.imports_resolved = imports_resolved
         self.parsed, self.parse_diagnostics = pipeline.parse(source, filename)
         self.plan: Optional[ModulePlan] = None
         if self.parsed is not None:
@@ -755,8 +888,11 @@ class _FileState:
                 self.plan = build_plan(self.parsed)
         #: uid -> unit payload, filled as units resolve.
         self.payloads: Dict[int, dict] = {}
-        #: defined name -> canonical scheme rendering (or None = failed).
-        self.scheme_srcs: Dict[str, Optional[str]] = {}
+        #: defined or imported name -> canonical scheme rendering (or
+        #: None = failed).  Locals overwrite imports on collision (a
+        #: local definition shadows an imported name).
+        self.scheme_srcs: Dict[str, Optional[str]] = \
+            dict(externals) if externals else {}
         #: defined name -> materialised Scheme (in-process checks only).
         self.schemes: Dict[str, Optional[Scheme]] = {}
 
@@ -766,7 +902,19 @@ class _FileState:
 
     def dep_items(self, unit: CheckUnit
                   ) -> List[Tuple[str, Optional[str]]]:
-        return [(dep, self.scheme_srcs.get(dep)) for dep in unit.deps]
+        items = [(dep, self.scheme_srcs.get(dep)) for dep in unit.deps]
+        # Imported schemes the unit references are part of its key: a
+        # change to one invalidates exactly the units naming it.
+        items.extend((name, self.scheme_srcs[name]) for name in unit.foreign
+                     if name in self.scheme_srcs)
+        return items
+
+    def exports(self) -> Optional[Dict[str, Optional[str]]]:
+        """The module's export map (None when the file did not parse)."""
+        if self.plan is None:
+            return None
+        return {name: self.scheme_srcs.get(name)
+                for name in sorted(self.plan.defining_decl)}
 
     def resolve(self, plan_unit: CheckUnit, payload: dict,
                 outcome: Optional[UnitOutcome] = None) -> None:
@@ -808,7 +956,8 @@ class _FileState:
                                d["binding"])
                     for d in member["diagnostics"]]
                 entries[decl_index] = (summary, diagnostics)
-        assemble_decl_order(plan, entries, result)
+        assemble_decl_order(plan, entries, result,
+                            imports_resolved=self.imports_resolved)
         result.ok = not result.errors
         return result
 
@@ -986,6 +1135,12 @@ def check_many_sharded(sources: Iterable[Tuple[str, str]],
                        cache: Union[ResultCache, str, None] = None,
                        session: Optional[Session] = None,
                        stats: Optional[CheckStats] = None,
+                       externals: Optional[Sequence[
+                           Optional[Dict[str, Optional[str]]]]] = None,
+                       file_keys_in: Optional[Sequence[
+                           Optional[str]]] = None,
+                       exports_out: Optional[List[
+                           Optional[Dict[str, Optional[str]]]]] = None,
                        ) -> List[CheckResult]:
     """Check many ``(filename, source)`` programs at unit granularity.
 
@@ -1001,7 +1156,24 @@ def check_many_sharded(sources: Iterable[Tuple[str, str]],
     Results always come back **in input order**, as slim payload-backed
     :class:`CheckResult` values (``scheme``/``parsed``/``env`` are None).
     ``stats`` (a :class:`CheckStats`) collects per-unit timing and cache
-    hit/miss counts for ``--stats``.
+    hit/miss counts for ``--stats``; counters accumulate, so the project
+    walk can thread one object through its per-level calls.
+
+    The project planner (:mod:`repro.driver.project`) drives the three
+    extra per-file sequences, each parallel to ``sources``:
+
+    * ``externals[i]`` — imported name → canonical exported scheme
+      rendering (None value = the export failed).  A non-None entry puts
+      file ``i`` in **project mode**: foreign references resolve against
+      it, unit keys fold in the referenced renderings, and import
+      declarations produce no single-file warning.
+    * ``file_keys_in[i]`` — overrides the file-level cache key (the
+      planner computes :func:`project_file_key` from the outline's foreign
+      references, which the plain source key cannot see).
+    * ``exports_out[i]`` — filled with the file's export map
+      ({defined name: canonical rendering | None}), or None when the file
+      failed to parse.  Served from the ``exports:`` side-table on
+      file-level hits, so a warm module never re-parses.
     """
     options = options or DriverOptions()
     jobs = max(1, int(jobs))
@@ -1022,25 +1194,37 @@ def check_many_sharded(sources: Iterable[Tuple[str, str]],
     file_keys: List[str] = []
     active: List[_FileState] = []
     for index, (filename, source) in enumerate(items):
-        file_key = cache_key(source, options, fingerprint)
+        ext = externals[index] if externals is not None else None
+        file_key = file_keys_in[index] \
+            if file_keys_in is not None and file_keys_in[index] is not None \
+            else cache_key(source, options, fingerprint)
         file_keys.append(file_key)
         if cache is not None:
             payload = cache.lookup_file(file_key)
             if payload is not None:
-                results[index] = result_from_payload(payload, filename)
-                _REGISTRY.inc("cache.file_hits")
-                if stats is not None:
+                exports_payload = cache.lookup_exports(file_key) \
+                    if ext is not None else None
+                if ext is None or exports_payload is not None:
+                    # In project mode a file-level hit must also supply
+                    # the module's exports (importers need them without a
+                    # re-parse); a missing exports entry re-opens the file.
+                    results[index] = result_from_payload(payload, filename)
+                    if exports_out is not None:
+                        exports_out[index] = exports_payload["exports"] \
+                            if exports_payload is not None else None
+                    _REGISTRY.inc("cache.file_hits")
                     stats.file_hits += 1
-                continue
-        active.append(_FileState(index, filename, source, pipeline))
+                    continue
+        active.append(_FileState(index, filename, source, pipeline,
+                                 externals=ext,
+                                 imports_resolved=ext is not None))
 
     parse_failures = sum(1 for state in active if state.parsed is None)
     _REGISTRY.inc("batch.files", len(items))
     if parse_failures:
         _REGISTRY.inc("batch.parse_failures", parse_failures)
-    if stats is not None:
-        stats.files = len(items)
-        stats.parse_failures = parse_failures
+    stats.files += len(items)
+    stats.parse_failures += parse_failures
 
     #: In-batch memo: identical units (same key) check at most once even
     #: without a persistent cache.
@@ -1099,6 +1283,9 @@ def check_many_sharded(sources: Iterable[Tuple[str, str]],
     for state in active:
         result = state.assemble()
         results[state.index] = result
+        exports = state.exports() if state.imports_resolved else None
+        if exports_out is not None and state.imports_resolved:
+            exports_out[state.index] = exports
         if cache is not None:
             # File-level short-circuit entry for the next unchanged run.
             # The filename is normalised out (re-stamped on load), so
@@ -1106,6 +1293,8 @@ def check_many_sharded(sources: Iterable[Tuple[str, str]],
             payload = result_to_payload(result)
             payload["filename"] = ""
             cache.store_file(file_keys[state.index], payload)
+            if state.imports_resolved:
+                cache.store_exports(file_keys[state.index], exports)
 
     if cache is not None:
         cache.save()

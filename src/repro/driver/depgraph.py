@@ -37,7 +37,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..frontend.lexer import Span
 from ..frontend.parser import ParsedModule
-from ..surface.ast import FunBind, TypeSig
+from ..surface.ast import FunBind, ImportDecl, ModuleHeader, TypeSig
 
 __all__ = [
     "CheckUnit",
@@ -83,6 +83,11 @@ class CheckUnit:
     segments: Tuple[Segment, ...]      # sigs + binds, declaration order
     deps: Tuple[str, ...]
     source: str                        # concatenated segment texts
+    #: References bound by no declaration in this module (sorted).  In
+    #: project mode these are the candidates for resolution against the
+    #: exports of imported modules; unresolved leftovers surface as the
+    #: usual not-in-scope diagnostics.
+    foreign: Tuple[str, ...] = ()
 
     @property
     def is_group(self) -> bool:
@@ -136,6 +141,26 @@ class ModulePlan:
     defining_unit: Dict[str, int]
     #: decl indices of TypeSig declarations without a matching binding.
     orphan_sigs: List[int]
+    #: The module's name: the ``module M where`` header's name when the
+    #: file has one, else the parser's default ("Main").
+    module_name: str = "Main"
+    #: Span of the header declaration, if present.
+    header_span: Optional[Span] = None
+    #: ``import`` declarations in declaration order (name, span), duplicates
+    #: kept so diagnostics can point at the exact occurrence.
+    imports: Tuple[Tuple[str, Span], ...] = ()
+
+    @property
+    def has_header(self) -> bool:
+        return self.header_span is not None
+
+    @property
+    def import_names(self) -> Tuple[str, ...]:
+        """Imported module names, declaration order, de-duplicated."""
+        seen: Dict[str, None] = {}
+        for name, _span in self.imports:
+            seen.setdefault(name, None)
+        return tuple(seen)
 
     @property
     def defined_names(self) -> FrozenSet[str]:
@@ -223,12 +248,20 @@ def build_plan(parsed: ParsedModule) -> ModulePlan:
     fun_decls: List[int] = []
     sig_decls_of: Dict[str, List[int]] = {}
     bound_names: Dict[str, int] = {}
+    header_span: Optional[Span] = None
+    imports: List[Tuple[str, Span]] = []
     for index, decl in enumerate(module.decls):
         if isinstance(decl, FunBind):
             fun_decls.append(index)
             bound_names[decl.name] = index       # last definition wins
         elif isinstance(decl, TypeSig):
             sig_decls_of.setdefault(decl.name, []).append(index)
+        elif isinstance(decl, ModuleHeader):
+            header_span = decl_span.get(index)
+        elif isinstance(decl, ImportDecl):
+            span = decl_span.get(index)
+            if span is not None:
+                imports.append((decl.name, span))
 
     orphan_sigs = [index
                    for name, indices in sorted(sig_decls_of.items())
@@ -263,14 +296,18 @@ def build_plan(parsed: ParsedModule) -> ModulePlan:
         member_names: List[str] = []
         segment_decls: List[int] = []
         deps: set = set()
+        foreign: set = set()
         for index in members:
             bind = module.decls[index]
             member_names.append(bind.name)
             segment_decls.extend(sig_decls_of.get(bind.name, []))
             segment_decls.append(index)
             for name in refs_of[index]:
-                if name in bound_names and bound_names[name] not in members:
-                    deps.add(name)
+                if name in bound_names:
+                    if bound_names[name] not in members:
+                        deps.add(name)
+                else:
+                    foreign.add(name)
         segment_decls = sorted(set(segment_decls))
         segments = tuple(
             _segment(source_lines, decl_index, decl_span[decl_index])
@@ -282,7 +319,8 @@ def build_plan(parsed: ParsedModule) -> ModulePlan:
             member_decls=tuple(members),
             segments=segments,
             deps=tuple(sorted(deps)),
-            source="".join(segment.text for segment in segments))
+            source="".join(segment.text for segment in segments),
+            foreign=tuple(sorted(foreign)))
         units.append(unit)
         for index in members:
             unit_of_decl[index] = uid
@@ -292,4 +330,6 @@ def build_plan(parsed: ParsedModule) -> ModulePlan:
 
     return ModulePlan(parsed=parsed, units=units, unit_of_decl=unit_of_decl,
                       defining_decl=bound_names, defining_unit=defining_unit,
-                      orphan_sigs=orphan_sigs)
+                      orphan_sigs=orphan_sigs,
+                      module_name=module.name, header_span=header_span,
+                      imports=tuple(imports))

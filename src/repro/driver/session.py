@@ -51,7 +51,7 @@ from ..frontend.parser import ParsedModule, parse_expr, parse_module
 from ..infer.infer import Inferencer, InferOptions
 from ..infer.schemes import Scheme, TypeEnv
 from ..pretty.printer import PrinterOptions, render_scheme
-from ..surface.ast import FunBind, Module, TypeSig
+from ..surface.ast import FunBind, ImportDecl, Module, TypeSig
 from ..surface.prelude import prelude_env
 from ..telemetry import REGISTRY as _REGISTRY, TRACER as _TRACER
 from .depgraph import CheckUnit, ModulePlan, build_plan
@@ -480,6 +480,19 @@ class Pipeline:
                 missing.append(dep)
             else:
                 dep_schemes[dep] = scheme
+        # Foreign references (names no local declaration binds) resolve only
+        # when the caller seeded ``available`` with imported modules' exports
+        # (project mode); an entry that is present but None marks an import
+        # whose defining binding failed — the unit skips structurally, the
+        # same recovery as a failed local dependency.  Names absent from
+        # ``available`` stay unbound and surface as ordinary scope errors.
+        for name in unit.foreign:
+            if name in available:
+                scheme = available[name]
+                if scheme is None:
+                    missing.append(name)
+                else:
+                    dep_schemes[name] = scheme
         env = self.base_env.bind_many(dep_schemes) if dep_schemes \
             else self.base_env
 
@@ -635,7 +648,8 @@ class Pipeline:
 def assemble_decl_order(
         plan: ModulePlan,
         entries: Dict[int, Tuple[BindingSummary, List[Diagnostic]]],
-        result: CheckResult) -> None:
+        result: CheckResult,
+        imports_resolved: bool = False) -> None:
     """Stitch per-declaration (summary, diagnostics) entries back into
     declaration order, interleaving orphan-signature warnings at their
     source positions.
@@ -644,10 +658,22 @@ def assemble_decl_order(
     path's payload assembly (:mod:`repro.driver.batch`), so the two can
     never drift apart — the byte-identity of cached and cold results
     depends on them agreeing.
+
+    ``imports_resolved`` is False in single-file mode, where ``import``
+    declarations cannot be resolved: each one then produces a warning at
+    its source position (the project build path passes True and resolves
+    them for real).
     """
     parsed = plan.parsed
     bound_names = set(plan.defining_decl)
     for index, decl in enumerate(parsed.module.decls):
+        if isinstance(decl, ImportDecl) and not imports_resolved:
+            result.diagnostics.append(Diagnostic(
+                "warning", "parse",
+                f"import {decl.name} is not resolved in single-file mode "
+                "(use 'python -m repro build' to check a project)",
+                parsed.filename, parsed.decl_span_list[index]))
+            continue
         if isinstance(decl, TypeSig) and decl.name not in bound_names:
             result.diagnostics.append(Diagnostic(
                 "warning", "infer",
@@ -687,6 +713,15 @@ class Session:
         #: over a session).
         self._repl_decls: List[str] = []
         self._repl_check: Optional[CheckResult] = None
+        #: ``:load``-ed project state: the loaded ``(filename, source)``
+        #: items, the session-lived in-memory cache that makes re-checks
+        #: after a redefinition incremental, the last ProjectCheck, and
+        #: the REPL's own overlay declarations (checked as a headerless
+        #: module importing every loaded module).
+        self._repl_project: Optional[List[Tuple[str, str]]] = None
+        self._repl_project_cache = None
+        self._repl_project_check = None
+        self._repl_overlay: List[str] = []
         #: The persistent worker pool (lazily spawned, reused across
         #: ``check_many`` calls) and the counters that make its lifecycle
         #: observable to benchmarks and tests.
@@ -815,6 +850,25 @@ class Session:
         return check_many_sharded(sources, self.options,
                                   jobs=jobs or 1, cache=cache, session=self,
                                   stats=stats)
+
+    def check_project(self, sources: Iterable[Tuple[str, str]],
+                      jobs: Optional[int] = None,
+                      cache=None, stats=None):
+        """Check a multi-module project (``module``/``import`` files).
+
+        Builds the module DAG over the ``(filename, source)`` items,
+        rejects import cycles with span-carrying diagnostics, and walks
+        the DAG level by level with each module's imported schemes in
+        scope — whole modules shard across the worker pool in level
+        order, and with a ``cache`` the build is incremental across both
+        bindings *and* module boundaries (see
+        :mod:`repro.driver.project` and docs/PROJECTS.md).  Returns a
+        :class:`repro.driver.project.ProjectCheck`.
+        """
+        from .project import check_project as _check_project
+
+        return _check_project(sources, self.options, jobs=jobs or 1,
+                              cache=cache, session=self, stats=stats)
 
     def run(self, source: str, filename: str = "<input>",
             entry: str = "main", cache=None) -> RunResult:
@@ -1003,9 +1057,11 @@ class Session:
             return ""
         if stripped.startswith(":t "):
             return self._repl_type_of(stripped[3:])
+        if stripped == ":load" or stripped.startswith(":load "):
+            return self._repl_load(stripped[5:].strip())
         if stripped.startswith(":"):
             return f"unknown command {stripped.split()[0]!r} " \
-                   "(try :t expr, :q)"
+                   "(try :t expr, :load DIR, :q)"
         as_decls = self._try_parse_decls(stripped)
         if as_decls:
             # Use the stripped line: pasted indentation must not trip the
@@ -1024,7 +1080,112 @@ class Session:
             return None
         return list(parsed.module.decls) or None
 
+    def _repl_load(self, args_text: str) -> str:
+        """``:load DIR|FILE...`` — check a project and bring its exports
+        into the REPL scope.  The project rides the same ProjectPlan as
+        ``python -m repro build``, against a session-lived in-memory
+        cache, so later redefinitions re-check only the cross-module
+        dependents of the edited binding."""
+        from .batch import CheckStats, ResultCache
+        from .project import check_project, discover_sources, merged_check
+
+        if not args_text:
+            return "usage: :load DIR|FILE..."
+        try:
+            items = discover_sources(args_text.split())
+        except OSError as exc:
+            return f"cannot load: {exc}"
+        if not items:
+            return f"no .lev files found under {args_text}"
+        if self._repl_project_cache is None:
+            self._repl_project_cache = ResultCache()
+        stats = CheckStats()
+        check = self.check_project(items, cache=self._repl_project_cache,
+                                   stats=stats)
+        summary = (f"loaded {len(items)} file(s): "
+                   f"{stats.checked} unit(s) checked, "
+                   f"{stats.cache_hits} from cache")
+        if not check.ok:
+            errors = "\n".join(d.pretty() for r in check.results
+                               for d in r.errors)
+            return f"{errors}\n{summary} — load failed"
+        self._repl_project = items
+        self._repl_project_check = check
+        self._repl_overlay = []
+        self._repl_decls = []
+        self._repl_check = merged_check(check, self.pipeline)
+        return summary
+
+    def _repl_project_add(self, text: str, added) -> str:
+        """Add/redefine declarations over a ``:load``-ed project.
+
+        A redefinition of a binding defined by exactly one loaded module
+        is appended to *that module's* source (last definition wins), so
+        the incremental project re-check walks precisely the cross-module
+        dependents whose imported schemes changed.  Anything else lands
+        in the REPL's overlay module, a headerless file importing every
+        loaded module.
+        """
+        from .batch import CheckStats
+        from .project import check_project, merged_check
+
+        project = self._repl_project
+        names = [decl.name for decl in added if isinstance(decl, FunBind)]
+        defined_in: Dict[str, List[int]] = {}
+        for index, exports in enumerate(self._repl_project_check.exports):
+            for name in exports or {}:
+                defined_in.setdefault(name, []).append(index)
+        homes = {home for name in names
+                 for home in defined_in.get(name, [])}
+        overlay_names = set()
+        for decl_text in self._repl_overlay:
+            for decl in self._try_parse_decls(decl_text) or []:
+                if isinstance(decl, FunBind):
+                    overlay_names.add(decl.name)
+        target: Optional[int] = None
+        if names and len(homes) == 1 and \
+                not any(name in overlay_names for name in names):
+            target = homes.pop()
+
+        items = list(project)
+        overlay = list(self._repl_overlay)
+        if target is not None:
+            filename, source = items[target]
+            items[target] = (filename, source.rstrip("\n") + "\n\n" +
+                             text.rstrip() + "\n")
+        else:
+            overlay.append(text.rstrip())
+        if overlay:
+            header_names = sorted(
+                name for name in self._repl_project_check.plan.by_name)
+            overlay_source = "".join(f"import {name}\n"
+                                     for name in header_names) + \
+                "\n" + "\n".join(overlay) + "\n"
+            items.append(("<repl>", overlay_source))
+
+        stats = CheckStats()
+        check = self.check_project(items, cache=self._repl_project_cache,
+                                   stats=stats)
+        if not check.ok:
+            return "\n".join(d.pretty() for r in check.results
+                             for d in r.errors)
+        self._repl_project = items[:len(project)]
+        self._repl_overlay = overlay
+        self._repl_project_check = check
+        self._repl_check = merged_check(check, self.pipeline)
+        lines = []
+        for name in dict.fromkeys(names):
+            for binding in reversed(self._repl_check.bindings):
+                if binding.name == name:
+                    lines.append(f"{binding.name} :: {binding.rendered}")
+                    break
+        lines.append(f"(re-checked {stats.checked} unit(s) across "
+                     f"{len(items)} file(s))")
+        return "\n".join(lines)
+
     def _repl_add_decls(self, text: str, added) -> str:
+        if self._repl_project is not None:
+            return self._repl_project_add(text, added)
         candidate = self._repl_decls + [text.rstrip()]
         check = self.pipeline.check("\n".join(candidate) + "\n", "<repl>")
         if not check.ok:
@@ -1047,7 +1208,7 @@ class Session:
         return "\n".join(lines) if lines else "defined."
 
     def _repl_env(self) -> Optional[CheckResult]:
-        return self._repl_check if self._repl_decls else None
+        return self._repl_check
 
     def _repl_type_of(self, text: str) -> str:
         from ..infer.infer import infer_binding

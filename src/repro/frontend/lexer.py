@@ -31,7 +31,7 @@ SYMBOL_CHARS = set("!#$%&*+./<=>?^|-~:@")
 #: Keywords of the surface language.
 KEYWORDS = frozenset({
     "forall", "let", "in", "if", "then", "else", "case", "of",
-    "where", "data", "class", "instance", "module",
+    "where", "data", "class", "instance", "module", "import",
 })
 
 #: Symbolic tokens with reserved meaning (never infix operators).

@@ -8,7 +8,7 @@ L→M compiler bridge) works on parsed programs unchanged.
 Grammar (``[]`` optional, ``{}`` repetition; see ``docs/FRONTEND.md`` for
 the full reference)::
 
-    module  ::= { decl }
+    module  ::= [ 'module' conid 'where' ] { 'import' conid } { decl }
     decl    ::= var '::' type                      -- type signature
               | var { var } '=' expr               -- function binding
     type    ::= 'forall' { binder } '.' type
@@ -99,7 +99,9 @@ from ..surface.ast import (
     EVar,
     Expr,
     FunBind,
+    ImportDecl,
     Module,
+    ModuleHeader,
     TypeSig,
 )
 from ..surface.types import (
@@ -161,6 +163,47 @@ def _negated(operand: Expr) -> Expr:
     if isinstance(operand, ELitDoubleHash):
         return ELitDoubleHash(-operand.value)
     return EApp(EVar("negate"), operand)
+
+
+def _decl_key(decl: Decl) -> Tuple[str, str]:
+    """The ``decl_spans`` key of a declaration (kind tag + name)."""
+    if isinstance(decl, TypeSig):
+        return ("sig", decl.name)
+    if isinstance(decl, ModuleHeader):
+        return ("module", decl.name)
+    if isinstance(decl, ImportDecl):
+        return ("import", decl.name)
+    return ("bind", decl.name)
+
+
+def validate_module_decls(decls: List[Decl], decl_span_list: List[Span],
+                          default_name: str) -> str:
+    """Enforce module-shape rules and return the module's name.
+
+    A ``module M where`` header must be the *first* declaration (which also
+    rules out duplicates), and ``import`` declarations must precede all
+    signatures and bindings.  Shared by :meth:`Parser.parse_module` and
+    :func:`parse_module_incremental` so both paths reject exactly the same
+    shapes with the same spans.
+    """
+    name = default_name
+    seen_code = False
+    for index, decl in enumerate(decls):
+        span = decl_span_list[index]
+        if isinstance(decl, ModuleHeader):
+            if index != 0:
+                raise ParseError(
+                    "the 'module ... where' header must be the first "
+                    "declaration in the file", span.line, span.column)
+            name = decl.name
+        elif isinstance(decl, ImportDecl):
+            if seen_code:
+                raise ParseError(
+                    "imports must appear before all other declarations",
+                    span.line, span.column)
+        else:
+            seen_code = True
+    return name
 
 
 @dataclass
@@ -280,7 +323,8 @@ class Parser:
     # Modules and declarations
     # =======================================================================
 
-    def parse_module(self, name: str = "Main") -> ParsedModule:
+    def parse_module(self, name: str = "Main",
+                     validate: bool = True) -> ParsedModule:
         decls: List[Decl] = []
         decl_spans: Dict[Tuple[str, str], Span] = {}
         decl_span_list: List[Span] = []
@@ -296,14 +340,30 @@ class Parser:
             decl, span = self._parse_decl()
             decls.append(decl)
             decl_span_list.append(span)
-            key = ("sig" if isinstance(decl, TypeSig) else "bind", decl.name)
-            decl_spans.setdefault(key, span)
+            decl_spans.setdefault(_decl_key(decl), span)
+        if validate:
+            name = validate_module_decls(decls, decl_span_list, name)
         parsed = ParsedModule(Module(name, decls), self.filename, self.source,
                               decl_spans, self.expr_spans, decl_span_list)
         return parsed
 
     def _parse_decl(self) -> Tuple[Decl, Span]:
         start = self._peek().span
+        token = self._peek()
+        if token.is_keyword("module"):
+            self._next()
+            name_token = self._expect("conid", "a module name")
+            where = self._peek()
+            if not where.is_keyword("where"):
+                raise self._error("expected 'where' after the module name")
+            self._next()
+            return (ModuleHeader(name_token.text),
+                    start.merge(self._previous_span()))
+        if token.is_keyword("import"):
+            self._next()
+            name_token = self._expect("conid", "a module name")
+            return (ImportDecl(name_token.text),
+                    start.merge(self._previous_span()))
         name = self._parse_decl_name()
         if self._peek().is_symbol("::"):
             self._next()
@@ -981,7 +1041,10 @@ def split_decl_blocks(source: str) -> List[Tuple[int, str]]:
 def _parse_block(text: str) -> _BlockParse:
     parser = Parser(text, "<block>")
     try:
-        parsed = parser.parse_module()
+        # Module-shape validation (header first, imports before code) is
+        # positional across the whole file, so it runs on assembly in
+        # parse_module_incremental, not per block.
+        parsed = parser.parse_module(validate=False)
     except ParseError as exc:
         message = str(exc)
         prefix = f"{exc.line}:{exc.column}: "
@@ -1046,11 +1109,11 @@ def parse_module_incremental(source: str, filename: str = "<input>",
             absolute = _shift_span(span, delta)
             decls.append(decl)
             decl_span_list.append(absolute)
-            key = ("sig" if isinstance(decl, TypeSig) else "bind", decl.name)
-            decl_spans.setdefault(key, absolute)
+            decl_spans.setdefault(_decl_key(decl), absolute)
         decl_refs.extend(block.refs)
         for node_id, span in block.expr_spans.items():
             expr_spans[node_id] = _shift_span(span, delta)
+    name = validate_module_decls(decls, decl_span_list, name)
     return ParsedModule(Module(name, decls), filename, source,
                         decl_spans, expr_spans, decl_span_list, decl_refs)
 

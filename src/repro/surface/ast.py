@@ -340,6 +340,43 @@ class Decl:
 
 
 @dataclass(frozen=True)
+class ModuleHeader(Decl):
+    """The ``module M where`` header naming a module.
+
+    Parsed as a declaration so the incremental block parser can memoise it
+    like any other column-1 block; :func:`repro.frontend.parser` enforces
+    that it is the *first* declaration and folds its name into
+    :attr:`Module.name`.
+    """
+
+    name: str
+
+    def pretty(self) -> str:
+        return f"module {self.name} where"
+
+
+@dataclass(frozen=True)
+class ImportDecl(Decl):
+    """An ``import N`` declaration bringing module ``N``'s exports into scope.
+
+    Imports are unqualified and total: every top-level binding the named
+    module defines becomes visible.  The project planner
+    (:mod:`repro.driver.project`) resolves them; in single-file checking
+    they produce a warning and the imported names simply stay out of
+    scope.
+    """
+
+    #: The imported module's name (the target of the edge in the project
+    #: dependency graph).  ``Decl.name`` conventions elsewhere refer to the
+    #: *defined* name, which an import does not have; the planner treats
+    #: imports positionally.
+    name: str
+
+    def pretty(self) -> str:
+        return f"import {self.name}"
+
+
+@dataclass(frozen=True)
 class TypeSig(Decl):
     """A standalone type signature ``name :: type``."""
 
@@ -488,6 +525,20 @@ class Module:
 
     def bindings(self) -> Dict[str, FunBind]:
         return {d.name: d for d in self.decls if isinstance(d, FunBind)}
+
+    def header(self) -> Optional[ModuleHeader]:
+        for decl in self.decls:
+            if isinstance(decl, ModuleHeader):
+                return decl
+        return None
+
+    def imports(self) -> List[str]:
+        """Imported module names, in declaration order, de-duplicated."""
+        seen: Dict[str, None] = {}
+        for decl in self.decls:
+            if isinstance(decl, ImportDecl):
+                seen.setdefault(decl.name, None)
+        return list(seen)
 
     def classes(self) -> Dict[str, ClassDecl]:
         return {d.name: d for d in self.decls if isinstance(d, ClassDecl)}
