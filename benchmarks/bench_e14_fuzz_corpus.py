@@ -107,8 +107,8 @@ def test_report_fuzz_corpus_throughput(tmp_path):
     record_counter("e14.cache.warm_fraction_of_cold", round(warm_fraction, 4))
     record_counter("e14.differential.programs_per_sec",
                    round(differential_rate, 1))
-    record_counter("e14.differential.machine_checked",
-                   report.counters.get("machine_checked", 0))
+    record_counter("e14.differential.machine_engaged",
+                   report.counters.get("machine_engaged", 0))
     record_counter("e14.differential.reference_checked",
                    report.counters.get("reference_checked", 0))
     record_counter("e14.cpu_count", os.cpu_count() or 1)

@@ -30,6 +30,13 @@ Subcommands:
   counters are one machine-readable document.
 * ``compile file.lev`` — check, lower the entry to the calculus L, compile
   to the machine language M, show the code, and run it.
+* ``validate file.lev|DIR [...]`` — translation validation: record the L
+  evaluator's step trace for each entry, compile every consecutive pair
+  and discharge the Simulation theorem's joinability obligations, then
+  compare the machine's final answer with the evaluator's (agreement on
+  ⊥ included).  Reports the *first diverging step* on failure; exits
+  nonzero only on genuine divergence (out-of-fragment entries are
+  reported as skipped).  See docs/VALIDATION.md.
 
 ``check``/``run``/``compile`` also accept ``--trace out.json`` (or the
 ``REPRO_TRACE`` environment variable), which records the pipeline's spans
@@ -258,6 +265,35 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .validate import validate_paths
+
+    if args.align_steps < 0:
+        raise _CliError("--align-steps must be non-negative")
+    try:
+        reports = validate_paths(args.paths, _options(args),
+                                 entry=args.entry,
+                                 align_steps=args.align_steps)
+    except OSError as exc:
+        raise _CliError(f"cannot read {exc.filename or '?'}: "
+                        f"{exc.strerror or exc}") from exc
+    if args.json:
+        print(json.dumps([report.as_dict() for report in reports],
+                         indent=2))
+    else:
+        for report in reports:
+            print(report.pretty())
+        engaged = sum(1 for report in reports if report.engaged)
+        diverged = sum(1 for report in reports
+                       if report.engaged and not report.ok)
+        print(f"validate: {len(reports)} input(s), {engaged} engaged, "
+              f"{diverged} divergence(s)")
+    # Skips (out-of-fragment entries) are informational; only a genuine
+    # divergence is a failure.
+    return 1 if any(report.engaged and not report.ok
+                    for report in reports) else 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from .fuzz import (
         DifferentialHarness,
@@ -441,6 +477,25 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write pipeline spans as Chrome trace-event "
                                "JSON")
     compile_.set_defaults(func=_cmd_compile)
+
+    validate = sub.add_parser(
+        "validate",
+        help="translation-validate entries: per-step joinability discharge "
+             "of the Simulation obligations (docs/VALIDATION.md)")
+    validate.add_argument("paths", nargs="+",
+                          help=".lev files and/or project directories")
+    validate.add_argument("--entry", default="main",
+                          help="entry binding to validate (default: main)")
+    validate.add_argument("--align-steps", type=int, default=64,
+                          metavar="N",
+                          help="per-program cap on discharged per-step "
+                               "obligations; the end-to-end answer "
+                               "comparison is never capped (default: 64)")
+    validate.add_argument("--json", action="store_true",
+                          help="emit machine-readable JSON reports")
+    validate.add_argument("--explicit-reps", action="store_true")
+    validate.add_argument("--no-levity-check", action="store_true")
+    validate.set_defaults(func=_cmd_validate)
 
     repl = sub.add_parser("repl", help="interactive read-eval-print loop")
     repl.add_argument("--explicit-reps", action="store_true")

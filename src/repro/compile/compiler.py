@@ -31,14 +31,17 @@ from ..core.errors import CompilationError, TypeCheckError
 from ..lang_l.syntax import (
     App,
     Case,
+    CaseLit,
     Con,
     Context,
     ErrorExpr,
+    Fix,
     KIND_INT,
     KIND_PTR,
     Lam,
     LExpr,
     Lit,
+    PrimOp,
     RepApp,
     RepLam,
     TyApp,
@@ -51,12 +54,15 @@ from ..lang_m.syntax import (
     MAppLit,
     MAppVar,
     MCase,
+    MCaseLit,
     MConVar,
     MExpr,
+    MFix,
     MLam,
     MLet,
     MLetStrict,
     MLit,
+    MPrimOp,
     MVar,
     MVarRef,
     fresh_integer_var,
@@ -116,6 +122,8 @@ class CompilationResult:
     lazy_lets: int
     strict_lets: int
     erased_type_nodes: int
+    fix_forms: int = 0
+    primop_forms: int = 0
 
     def pretty(self) -> str:
         return self.code.pretty()
@@ -128,6 +136,8 @@ class Compiler:
         self.lazy_lets = 0
         self.strict_lets = 0
         self.erased_type_nodes = 0
+        self.fix_forms = 0
+        self.primop_forms = 0
 
     def compile(self, ctx: Context, env: VarEnv, expr: LExpr) -> MExpr:
         """Compile ``expr`` under typing context ``ctx`` and environment ``env``."""
@@ -187,6 +197,58 @@ class Compiler:
             body_env = env.bind(expr.binder, fresh)
             body_code = self.compile(body_ctx, body_env, expr.body)
             return MCase(scrutinee_code, fresh, body_code)
+
+        if isinstance(expr, Fix):
+            # C_FIX: the binder is pointer-kinded (rule E_FIX), so it
+            # compiles to a pointer variable that the machine ties through
+            # the heap.
+            try:
+                binder_kind = kind_of(ctx, expr.var_type)
+            except TypeCheckError as exc:
+                raise CompilationError(
+                    f"cannot compile fix {expr.var}: its type does not "
+                    f"kind-check ({exc})") from exc
+            if binder_kind != KIND_PTR:
+                raise CompilationError(
+                    f"cannot compile fix {expr.var}: recursion needs a "
+                    f"pointer-kinded binder, got {binder_kind.pretty()}")
+            fresh = fresh_pointer_var()
+            body_ctx = ctx.bind_term(expr.var, expr.var_type)
+            body_env = env.bind(expr.var, fresh)
+            self.fix_forms += 1
+            return MFix(fresh, self.compile(body_ctx, body_env, expr.body))
+
+        if isinstance(expr, PrimOp):
+            # C_PRIMOP: every operand is Int#, so each non-literal operand
+            # is named by a strict let! (C_APPINT's calling convention) and
+            # the primop itself sees only literals and integer registers.
+            lets = []
+            atoms = []
+            env_prime = env
+            for argument in expr.arguments:
+                if isinstance(argument, Lit):
+                    atoms.append(MLit(argument.value))
+                    continue
+                fresh = fresh_integer_var()
+                env_prime = env_prime.extend_fresh(fresh)
+                code = self.compile(ctx, env_prime, argument)
+                lets.append((fresh, code))
+                atoms.append(MVarRef(fresh))
+            self.primop_forms += 1
+            result: MExpr = MPrimOp(expr.name, tuple(atoms))
+            for fresh, code in reversed(lets):
+                self.strict_lets += 1
+                result = MLetStrict(fresh, code, result)
+            return result
+
+        if isinstance(expr, CaseLit):
+            # C_CASELIT: scrutinee, branches and default all compile in the
+            # same environment — literal branches bind nothing.
+            return MCaseLit(
+                self.compile(ctx, env, expr.scrutinee),
+                tuple((literal, self.compile(ctx, env, branch))
+                      for literal, branch in expr.alternatives),
+                self.compile(ctx, env, expr.default))
 
         raise CompilationError(f"cannot compile expression {expr!r}")
 
@@ -267,7 +329,8 @@ def compile_expr(expr: LExpr, ctx: Context = Context(),
     compiler = Compiler()
     code = compiler.compile(ctx, env, expr)
     return CompilationResult(code, compiler.lazy_lets, compiler.strict_lets,
-                             compiler.erased_type_nodes)
+                             compiler.erased_type_nodes, compiler.fix_forms,
+                             compiler.primop_forms)
 
 
 def compile_and_run(expr: LExpr, ctx: Context = Context(),

@@ -1,0 +1,81 @@
+"""The shared ``Int#`` primop signature table and delta rules.
+
+Both the L small-step semantics (:mod:`repro.lang_l.semantics`) and the
+M machine (:mod:`repro.lang_m.machine`) reduce saturated primop
+applications over unboxed integer literals.  The two layers must agree
+*exactly* — the translation-validation layer (:mod:`repro.validate`)
+cross-checks them program by program — so the delta function lives here,
+in :mod:`repro.core`, and both import it.
+
+Semantics (mirroring GHC's ``Int#`` primops, restricted to the ones the
+L fragment carries):
+
+* ``+# -# *#`` — exact integer arithmetic (Python ints, no wraparound);
+* ``quotInt# remInt#`` — truncate-towards-zero division; **division by
+  zero is bottom** (``delta`` returns ``None``; L steps to ``error``,
+  the machine aborts, the evaluator raises);
+* ``negateInt#`` — unary negation;
+* ``<# ># <=# >=# ==# /=#`` — comparisons returning ``1#``/``0#``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+#: Arity of every primop the L fragment supports, keyed by surface name.
+INT_PRIMOPS: Dict[str, int] = {
+    "+#": 2,
+    "-#": 2,
+    "*#": 2,
+    "quotInt#": 2,
+    "remInt#": 2,
+    "negateInt#": 1,
+    "<#": 2,
+    ">#": 2,
+    "<=#": 2,
+    ">=#": 2,
+    "==#": 2,
+    "/=#": 2,
+}
+
+
+def primop_delta(name: str, arguments: Sequence[int]) -> Optional[int]:
+    """The delta rule ``δ(op, n1 … nk)`` on unboxed integer literals.
+
+    Returns ``None`` exactly when the application is bottom — i.e. for
+    ``quotInt#``/``remInt#`` with a zero divisor.  Raises ``KeyError``
+    for unknown primops and ``ValueError`` on an arity mismatch, both of
+    which indicate an ill-typed term (the L type checker and the machine
+    reject them before reduction).
+    """
+    arity = INT_PRIMOPS[name]
+    if len(arguments) != arity:
+        raise ValueError(f"primop {name!r} expects {arity} arguments, "
+                         f"got {len(arguments)}")
+    if name == "+#":
+        return arguments[0] + arguments[1]
+    if name == "-#":
+        return arguments[0] - arguments[1]
+    if name == "*#":
+        return arguments[0] * arguments[1]
+    if name == "negateInt#":
+        return -arguments[0]
+    if name in ("quotInt#", "remInt#"):
+        a, b = arguments
+        if b == 0:
+            return None
+        quot = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            quot = -quot
+        if name == "quotInt#":
+            return quot
+        return a - b * quot
+    comparisons = {
+        "<#": arguments[0] < arguments[1],
+        ">#": arguments[0] > arguments[1],
+        "<=#": arguments[0] <= arguments[1],
+        ">=#": arguments[0] >= arguments[1],
+        "==#": arguments[0] == arguments[1],
+        "/=#": arguments[0] != arguments[1],
+    }
+    return 1 if comparisons[name] else 0

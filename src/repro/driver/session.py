@@ -193,14 +193,23 @@ class RunResult:
     machine_value: Optional[str] = None
     machine_steps: Optional[int] = None
     #: True/False when the two results are comparable values (integers,
-    #: boxed integers); None when the machine ran but the result has no
-    #: canonical comparison (e.g. a function value).
+    #: boxed integers, or agreement on bottom); None when the machine ran
+    #: but the result has no canonical comparison (e.g. a function value).
     machine_agrees: Optional[bool] = None
+    #: Why the machine cross-check did not engage: the lowering error
+    #: message when the entry's types leave the L fragment.  None when the
+    #: machine ran (even if the result was not comparable) — the
+    #: ``machine_agrees`` tri-state alone cannot distinguish "skipped"
+    #: from "ran, not comparable".
+    machine_skipped: Optional[str] = None
     #: Closure-compilation counters (``options.compiled`` runs only):
     #: bindings lowered to Python this run vs served from the per-unit
     #: codegen cache.  None when the tree-walker evaluated the entry.
     codegen_compiled: Optional[int] = None
     codegen_cached: Optional[int] = None
+    #: :class:`repro.validate.ValidationReport` (``options.validate``
+    #: runs only): per-step Simulation-obligation discharge.
+    validation: Optional[object] = None
 
     @property
     def diagnostics(self) -> List[Diagnostic]:
@@ -226,6 +235,9 @@ class RunResult:
                     verdict = "agrees" if self.machine_agrees else "DISAGREES"
                 lines.append(f"M machine {verdict}: {self.machine_value} "
                              f"({self.machine_steps} steps)")
+        elif self.machine_agrees is True:
+            lines.append("M machine agrees: both sides reached bottom "
+                         f"({self.machine_steps} steps)")
         return "\n".join(lines)
 
 
@@ -331,6 +343,13 @@ class DriverOptions:
     #: (:mod:`repro.runtime.compiler`) instead of the tree-walker.
     #: Semantics-identical; the cost counters are not modelled.
     compiled: bool = False
+    #: Run the translation validator (:mod:`repro.validate`) on every
+    #: cross-checked entry: per-step joinability discharge of the
+    #: Simulation obligations, reporting the first diverging step.
+    validate: bool = False
+    #: Cap on how many per-step obligations the validator discharges per
+    #: program (the end-to-end answer comparison is never capped).
+    align_steps: int = 64
 
     def printer_options(self) -> PrinterOptions:
         return PrinterOptions(
@@ -956,26 +975,71 @@ class Session:
                 "error", "run", str(exc), filename,
                 check.parsed.span_of_binding(entry), entry))
             check.ok = False
+            self._crosscheck_bottom(check, entry, result)
             return result
 
         self._try_machine_crosscheck(check, entry, result, value,
                                      evaluator.heap)
         return result
 
-    def _try_machine_crosscheck(self, check: CheckResult, entry: str,
-                                result: RunResult, value, heap) -> None:
-        """Lower + compile + run on the M machine when the fragment allows."""
+    def _lower_for_crosscheck(self, check: CheckResult, entry: str,
+                              result: RunResult):
+        """Lower ``entry`` to L, recording a skip reason on failure."""
         from .lower import LoweringError, lower_entry
 
         schemes = {b.name: b.scheme for b in check.bindings
                    if b.scheme is not None}
         try:
-            term = lower_entry(check.parsed.module, schemes, entry)
+            return lower_entry(check.parsed.module, schemes, entry)
         except LoweringError as exc:
+            result.machine_skipped = str(exc)
             check.diagnostics.append(Diagnostic(
                 "note", "compile",
                 f"entry not cross-checked on the M machine: {exc}",
                 check.filename, binding=entry))
+            return None
+
+    def _crosscheck_bottom(self, check: CheckResult, entry: str,
+                           result: RunResult) -> None:
+        """The evaluator hit an error; check the machine also aborts.
+
+        Bottom is an observable outcome (S_PRIMBOT in L, the ABORT rule in
+        M), so agreement on it is as meaningful as agreement on 42 — a
+        machine that *succeeds* where the evaluator errored is a real
+        divergence (this is exactly how the seed's total quot/rem-by-zero
+        slipped through: the error path skipped the cross-check).
+        """
+        term = self._lower_for_crosscheck(check, entry, result)
+        if term is None:
+            return
+        try:
+            from ..compile.compiler import compile_and_run
+
+            outcome = compile_and_run(
+                term, max_steps=self.options.max_machine_steps)
+        except ReproError as exc:
+            check.diagnostics.append(Diagnostic(
+                "warning", "compile",
+                f"L→M cross-check failed: {exc}", check.filename,
+                binding=entry))
+            return
+        result.machine_value = ("error" if outcome.aborted
+                                else outcome.unwrap().pretty())
+        result.machine_steps = outcome.costs.steps
+        result.machine_agrees = bool(outcome.aborted)
+        if not outcome.aborted:
+            check.diagnostics.append(Diagnostic(
+                "warning", "compile",
+                f"M machine produced {result.machine_value!r} but the "
+                f"evaluator reached bottom", check.filename, binding=entry))
+        if self.options.validate:
+            self._validate_entry(check, entry, result, term)
+
+    def _try_machine_crosscheck(self, check: CheckResult, entry: str,
+                                result: RunResult, value, heap) -> None:
+        """Lower + compile + run on the M machine when the fragment allows."""
+        term = self._lower_for_crosscheck(check, entry, result)
+        if term is None:
             return
         try:
             from ..compile.compiler import compile_and_run
@@ -1002,11 +1066,29 @@ class Session:
                     "M machine ran but the result has no canonical "
                     "comparison (function value)",
                     check.filename, binding=entry))
+            if self.options.validate:
+                self._validate_entry(check, entry, result, term)
         except ReproError as exc:
             check.diagnostics.append(Diagnostic(
                 "warning", "compile",
                 f"L→M cross-check failed: {exc}", check.filename,
                 binding=entry))
+
+    def _validate_entry(self, check: CheckResult, entry: str,
+                        result: RunResult, term) -> None:
+        """Discharge the per-step Simulation obligations for ``entry``."""
+        from ..validate import validate_term
+
+        report = validate_term(
+            term, filename=check.filename, entry=entry,
+            align_steps=self.options.align_steps,
+            machine_steps=self.options.max_machine_steps)
+        result.validation = report
+        if report.engaged and not report.ok:
+            check.diagnostics.append(Diagnostic(
+                "warning", "compile",
+                f"translation validation failed: {report.reason}",
+                check.filename, binding=entry))
 
     def compile(self, source: str, filename: str = "<input>",
                 entry: str = "main") -> CompileResult:

@@ -196,15 +196,17 @@ class GenProgram:
 
 
 def _exact_quot(a: int, b: int) -> int:
-    """``quotInt#``: truncate-towards-zero division, total at ``b == 0``.
+    """``quotInt#``: truncate-towards-zero division; ⊥ at ``b == 0``.
 
     Deliberately a *different formulation* from the evaluator's primop
     (``int()`` on an exact rational truncates toward zero), so a bug in one
     implementation cannot hide in the other — the whole point of the
-    reference oracle.
+    reference oracle.  Division by zero raises, matching the bottom
+    outcome all execution backends now share; the generator only emits
+    non-zero literal divisors, so a raise here means a generator bug.
     """
     if b == 0:
-        return 0
+        raise ZeroDivisionError("quotInt# by zero is bottom")
     from fractions import Fraction
 
     return int(Fraction(a, b))
@@ -212,7 +214,7 @@ def _exact_quot(a: int, b: int) -> int:
 
 def _exact_rem(a: int, b: int) -> int:
     if b == 0:
-        return 0
+        raise ZeroDivisionError("remInt# by zero is bottom")
     return a - b * _exact_quot(a, b)
 
 
@@ -531,9 +533,6 @@ class ProgramGenerator:
         return EApp(EVar(op), inner), (lambda env: semantics(inner_ref(env)))
 
     def _int_hash_nodes(self, ctx: _Ctx) -> List[Callable]:
-        if ctx.fragment:
-            return [lambda: self._unbox_case_node(INT_HASH_TY, ctx)]
-
         def arith():
             op = self.choices.pick(sorted(_INT_HASH_OPS))
             return self._op_node(op, INT_HASH_TY, INT_HASH_TY, ctx,
@@ -550,12 +549,18 @@ class ProgramGenerator:
                                  _DOUBLE_CMPS[op])
 
         def quot_rem():
+            # The divisor is a non-zero *literal*: quot/rem by zero is
+            # bottom (§ satellite: unified across evaluator, machine and
+            # reference), and a dynamic zero would poison the reference
+            # value of every enclosing expression.
             op = self.choices.pick(["quotInt#", "remInt#"])
             semantics = _exact_quot if op == "quotInt#" else _exact_rem
             left, left_ref = self.gen(INT_HASH_TY, ctx)
-            right, right_ref = self.gen(INT_HASH_TY, ctx)
-            return (apply(EVar(op), left, right),
-                    lambda env: semantics(left_ref(env), right_ref(env)))
+            divisor = self._int_value(ctx)
+            if divisor == 0:
+                divisor = 7
+            return (apply(EVar(op), left, ELitIntHash(divisor)),
+                    lambda env: semantics(left_ref(env), divisor))
 
         def negate():
             return self._unary_node("negateInt#", INT_HASH_TY, ctx,
@@ -564,6 +569,11 @@ class ProgramGenerator:
         def unbox():
             return self._unbox_case_node(INT_HASH_TY, ctx)
 
+        if ctx.fragment:
+            # With fix + primops in L/M the fragment covers the whole
+            # Int# primop set; only Double# comparisons stay out (their
+            # operand type is not in the fragment).
+            return [arith, compare, quot_rem, negate, unbox]
         return [arith, compare, double_compare, quot_rem, negate, unbox]
 
     def _unbox_case_node(self, target: SType, ctx: _Ctx) -> Tuple[Expr, RefFn]:
@@ -697,7 +707,12 @@ class ProgramGenerator:
 
     def _case_node(self, target: SType, ctx: _Ctx) -> Tuple[Expr, RefFn]:
         if ctx.fragment:
-            return self._unbox_case_node(target, ctx)
+            # Literal cases lower to L's case-lit form, so the fragment
+            # exercises both case shapes the compiler knows about.
+            scrutinee_type = self.choices.pick([INT_HASH_TY, INT_TY])
+            if scrutinee_type == INT_TY and self.choices.chance(0.5):
+                return self._unbox_case_node(target, ctx)
+            return self._literal_case_node(target, scrutinee_type, ctx)
         scrutinee_type = self.choices.pick(
             [INT_HASH_TY, INT_TY, BOOL_TY, MAYBE_INT_TY, PAIR_HASH_TY])
         if scrutinee_type == BOOL_TY:
@@ -1065,7 +1080,11 @@ class ProgramGenerator:
         return name, self._fn_binding(name, [], result, ctx, signed=signed)
 
     def _flavor_loop(self, ctx: _Ctx):
-        """A structurally terminating counted loop (full mode only)."""
+        """A structurally terminating counted loop.
+
+        Now that ``fix`` is in L, loops are fragment-eligible: they
+        lower, compile and run on the M machine like everything else.
+        """
         name = self._fresh("loop")
         step = self.choices.int_between(1, 5)
         kind = self.choices.pick(["sum", "sum_scaled", "count"])
@@ -1097,7 +1116,7 @@ class ProgramGenerator:
         decls = [TypeSig(name, full_type),
                  FunBind(name, ["acc", "n"], body)]
         self._register(name, full_type, _curry(run, 2), safe=True,
-                       fragment=False, hints=(None, "small"))
+                       fragment=True, hints=(None, "small"))
         return name, (decls, full_type)
 
     def _flavor_levity(self, ctx: _Ctx):
@@ -1132,7 +1151,7 @@ class ProgramGenerator:
     _FULL_FLAVORS = ("arith_hash", "arith_boxed", "double", "bool", "box",
                      "unbox", "pair", "higher", "string", "const", "loop",
                      "levity", "deadcode")
-    _FRAGMENT_FLAVORS = ("frag_fn", "frag_const")
+    _FRAGMENT_FLAVORS = ("frag_fn", "frag_const", "loop")
 
     def _helper_binding(self, flavor: str, ctx: _Ctx):
         if flavor == "arith_hash":

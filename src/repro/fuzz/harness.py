@@ -1,4 +1,4 @@
-"""The differential harness: generated programs against five oracles.
+"""The differential harness: generated programs against six oracles.
 
 Every generated program (:class:`repro.fuzz.generator.GenProgram`) carries
 its intended binding types, a reference value for ``main`` and a flag saying
@@ -20,10 +20,18 @@ oracle             property checked
 ``reference``      the evaluator's value equals the generator's independent
                    reference semantics (exact integers — this is the oracle
                    that caught the ``quotInt#`` float-precision bug)
-``differential``   when the entry is in the L fragment, the Figure-7 M
-                   machine agrees with the evaluator; fragment-mode programs
-                   *must* engage the machine (a silently skipped cross-check
-                   is itself a failure)
+``differential``   every entry that lowers runs on the Figure-7 M machine
+                   and must agree with the evaluator (agreement on ⊥
+                   included); fragment-mode programs *must* engage the
+                   machine (a silently skipped cross-check is itself a
+                   failure), and skips vs not-comparable results are
+                   counted separately (``machine_engaged`` /
+                   ``machine_not_comparable`` /
+                   ``machine_skipped_out_of_fragment``)
+``validate``       per-program translation validation
+                   (:mod:`repro.validate`): each recorded L step is
+                   compiled and discharged as a §6.3 joinability
+                   obligation, plus an uncapped end-to-end answer check
 =================  ==========================================================
 
 The type-check pass can be fanned out through the sharded batch checker
@@ -56,7 +64,7 @@ class FuzzFailure:
     """One oracle violation on one generated program."""
 
     oracle: str      # "typecheck" | "roundtrip" | "run" | "reference"
-    #                # | "differential"
+    #                # | "differential" | "validate"
     filename: str
     message: str
     source: str
@@ -99,8 +107,16 @@ class DifferentialHarness:
     """Run generated programs through the pipeline and all oracles."""
 
     def __init__(self, options: Optional[DriverOptions] = None,
-                 session: Optional[Session] = None) -> None:
+                 session: Optional[Session] = None,
+                 validate: bool = True,
+                 align_steps: int = 12) -> None:
         self.session = session or Session(options)
+        #: Discharge the per-program Simulation obligations (the sixth
+        #: oracle) for every program that engages the machine.  The small
+        #: ``align_steps`` default keeps corpus runs inside a test-suite
+        #: time budget; the end-to-end answer comparison is uncapped.
+        self.validate = validate
+        self.align_steps = align_steps
 
     # -- single programs -------------------------------------------------------
 
@@ -184,17 +200,48 @@ class DifferentialHarness:
                  f"M machine produced {run.machine_value!r} "
                  f"({run.machine_steps} steps), the evaluator produced "
                  f"{run.value!r}")
-        if program.fragment and run.machine_value is None:
-            notes = "; ".join(d.message for d in run.check.diagnostics
-                              if d.stage == "compile")
+        # The cross-check outcome is genuinely three-valued, and the old
+        # `machine_agrees is None` test conflated two of them: "the
+        # machine ran but the result is a function" and "the machine
+        # never ran".  `machine_skipped` separates them.
+        engaged = run.machine_value is not None
+        if program.fragment and not engaged:
             fail("differential",
                  "fragment-mode program skipped the machine cross-check: "
-                 + (notes or "no compile diagnostic recorded"))
+                 + (run.machine_skipped
+                    or "no lowering diagnostic recorded"))
         if report is not None:
-            if run.machine_value is not None:
-                report.bump("machine_checked")
+            if engaged:
+                report.bump("machine_engaged")
+                if run.machine_agrees is None:
+                    report.bump("machine_not_comparable")
+            elif run.machine_skipped is not None:
+                report.bump("machine_skipped_out_of_fragment")
             if program.expected_value is not None:
                 report.bump("reference_checked")
+        if engaged and self.validate:
+            self._check_validation(program, fail, report, run)
+
+    def _check_validation(self, program: GenProgram, fail,
+                          report: Optional[FuzzReport], run) -> None:
+        """Discharge the per-program Simulation obligations (§6.3)."""
+        from ..validate import validate_check
+
+        verdict = validate_check(self.session, run.check,
+                                 align_steps=self.align_steps)
+        if not verdict.engaged:
+            # The entry lowered a moment ago (the machine engaged), so a
+            # skip here means L evaluation did not settle inside the
+            # validator's budget — informational, not a finding.
+            if report is not None:
+                report.bump("validation_skipped")
+            return
+        if report is not None:
+            report.bump("validated")
+            report.bump("obligations_discharged",
+                        verdict.obligations_checked)
+        if not verdict.ok:
+            fail("validate", verdict.pretty())
 
     # -- corpora ---------------------------------------------------------------
 

@@ -12,11 +12,14 @@ Modules:
 from .syntax import (
     App,
     Case,
+    CaseLit,
     Con,
     Context,
     EMPTY_CONTEXT,
     ERROR,
     ErrorExpr,
+    Fix,
+    PrimOp,
     I,
     INT,
     INT_HASH,

@@ -20,10 +20,14 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from ..core.errors import EvaluationError
+from ..core.primops import primop_delta
 from .syntax import (
     App,
     Case,
+    CaseLit,
     Con,
+    Fix,
+    PrimOp,
     Context,
     ErrorExpr,
     KIND_INT,
@@ -125,6 +129,27 @@ def step(ctx: Context, expr: LExpr) -> Optional[StepResult]:
         return _map_step(inner,
                          lambda e: Case(e, expr.binder, expr.body))
 
+    if isinstance(expr, Fix):
+        # S_FIX: fix x:τ. e  −→  e[fix x:τ. e / x]
+        return Step(expr.body.substitute(expr.var, expr))
+
+    if isinstance(expr, PrimOp):
+        return _step_primop(ctx, expr)
+
+    if isinstance(expr, CaseLit):
+        scrutinee = expr.scrutinee
+        if isinstance(scrutinee, Lit):
+            # S_MATCHLIT: take the first matching branch, else the default.
+            for literal, branch in expr.alternatives:
+                if literal == scrutinee.value:
+                    return Step(branch)
+            return Step(expr.default)
+        inner = step(ctx, scrutinee)  # S_CASELIT
+        return _force_step(
+            inner,
+            lambda e: CaseLit(e, expr.alternatives, expr.default),
+            "literal-case scrutinee")
+
     if isinstance(expr, Var):
         return Stuck(f"free variable {expr.name!r}")
 
@@ -166,6 +191,41 @@ def _step_application(ctx: Context, expr: App) -> StepResult:
     return Stuck(
         f"application argument has levity-polymorphic kind "
         f"{argument_kind.pretty()}; no evaluation rule applies")
+
+
+def _step_primop(ctx: Context, expr: PrimOp) -> StepResult:
+    """S_PRIMARG / S_PRIM / S_PRIMBOT: strict, left-to-right primops.
+
+    Primop operands are unboxed (``Int#``), so they evaluate strictly,
+    left to right.  Once every operand is a literal the delta rule from
+    :mod:`repro.core.primops` fires; a zero divisor is ⊥, exactly like
+    ``error`` (the machine aborts at the same point).
+    """
+    for index, argument in enumerate(expr.arguments):
+        if argument.is_value():
+            continue
+        inner = step(ctx, argument)  # S_PRIMARG
+
+        def rebuild(e, index=index):
+            arguments = (expr.arguments[:index] + (e,)
+                         + expr.arguments[index + 1:])
+            return PrimOp(expr.name, arguments)
+
+        return _force_step(inner, rebuild, "primop argument")
+    literals = []
+    for argument in expr.arguments:
+        if not isinstance(argument, Lit):
+            return Stuck(
+                f"primop {expr.name!r} applied to the non-literal value "
+                f"{argument.pretty()}")
+        literals.append(argument.value)
+    try:
+        result = primop_delta(expr.name, literals)
+    except (KeyError, ValueError) as exc:
+        return Stuck(f"ill-formed primop application: {exc}")
+    if result is None:
+        return Bottom()  # S_PRIMBOT: division by zero
+    return Step(Lit(result))  # S_PRIM
 
 
 def _map_step(inner: Optional[StepResult], rebuild) -> Optional[StepResult]:

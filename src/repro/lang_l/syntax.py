@@ -8,8 +8,14 @@ L is a variant of System F extended with levity polymorphism:
 * base types ``B ::= Int | Int#``;
 * types ``τ ::= B | τ1 → τ2 | α | ∀α:κ. τ | ∀r. τ``;
 * expressions ``e ::= x | e1 e2 | λx:τ. e | Λα:κ. e | e τ | Λr. e | e ρ
-  | I#[e] | case e1 of I#[x] → e2 | n | error``;
+  | I#[e] | case e1 of I#[x] → e2 | n | error
+  | fix x:τ. e | op#(e1, …, ek) | case e of { n1 → e1; …; _ → d }``;
 * values ``v ::= λx:τ. e | Λα:κ. v | Λr. v | I#[v] | n``.
+
+The last three expression forms — ``fix``, saturated ``Int#`` primops and
+literal case — extend Figure 2 so that *whole-language* surface programs
+(recursion, arithmetic, comparisons) lower into L and reach the M-machine
+oracle, instead of being rejected as out-of-fragment.
 
 The paper keeps L deliberately small (a stratified type system with exactly
 two concrete representations) because it "still captures the essence of
@@ -720,6 +726,144 @@ class Case(LExpr):
     def pretty(self) -> str:
         return (f"case {self.scrutinee.pretty()} of I#[{self.binder}] -> "
                 f"{self.body.pretty()}")
+
+
+@dataclass(frozen=True)
+class Fix(LExpr):
+    """The fixpoint form ``fix x:τ. e`` — recursion, added on top of Figure 2.
+
+    The seed L was strongly normalising; recursive surface bindings could
+    not lower, so the M machine never saw programs like ``sumTo#``.  ``fix``
+    closes that gap.  The binder must live at a *pointer-kinded* type
+    (``TYPE P``): unrolling substitutes the whole ``fix`` term for ``x``,
+    and on the machine the knot is tied through a heap thunk — there is no
+    thunk (and no evaluation rule) at an unboxed type.
+    """
+
+    var: str
+    var_type: LType
+    body: LExpr
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.body.free_vars() - {self.var}
+
+    def substitute(self, name: str, replacement: LExpr) -> LExpr:
+        if name == self.var:
+            return self
+        if self.var in replacement.free_vars():
+            fresh = _fresh_name(self.var,
+                                replacement.free_vars()
+                                | self.body.free_vars())
+            renamed = self.body.substitute(self.var, Var(fresh))
+            return Fix(fresh, self.var_type,
+                       renamed.substitute(name, replacement))
+        return Fix(self.var, self.var_type,
+                   self.body.substitute(name, replacement))
+
+    def substitute_type(self, name: str, replacement: LType) -> LExpr:
+        return Fix(self.var, self.var_type.substitute_type(name, replacement),
+                   self.body.substitute_type(name, replacement))
+
+    def substitute_rep(self, name: str, replacement: LRep) -> LExpr:
+        return Fix(self.var, self.var_type.substitute_rep(name, replacement),
+                   self.body.substitute_rep(name, replacement))
+
+    def is_value(self) -> bool:
+        return False
+
+    def pretty(self) -> str:
+        return (f"fix {self.var}:{self.var_type.pretty()}. "
+                f"{self.body.pretty()}")
+
+
+@dataclass(frozen=True)
+class PrimOp(LExpr):
+    """A saturated primop application ``op#(e1, …, ek)`` at ``Int#``.
+
+    The operator set and its delta rules live in
+    :mod:`repro.core.primops`; every operand and the result are ``Int#``.
+    Arguments evaluate strictly, left to right — they are unboxed, so
+    call-by-value is forced (the same reasoning as rule S_APP2 for
+    ``TYPE I`` arguments).
+    """
+
+    name: str
+    arguments: Tuple[LExpr, ...]
+
+    def free_vars(self) -> FrozenSet[str]:
+        free: FrozenSet[str] = frozenset()
+        for argument in self.arguments:
+            free |= argument.free_vars()
+        return free
+
+    def substitute(self, name: str, replacement: LExpr) -> LExpr:
+        return PrimOp(self.name,
+                      tuple(a.substitute(name, replacement)
+                            for a in self.arguments))
+
+    def substitute_type(self, name: str, replacement: LType) -> LExpr:
+        return PrimOp(self.name,
+                      tuple(a.substitute_type(name, replacement)
+                            for a in self.arguments))
+
+    def substitute_rep(self, name: str, replacement: LRep) -> LExpr:
+        return PrimOp(self.name,
+                      tuple(a.substitute_rep(name, replacement)
+                            for a in self.arguments))
+
+    def is_value(self) -> bool:
+        return False
+
+    def pretty(self) -> str:
+        args = ", ".join(a.pretty() for a in self.arguments)
+        return f"{self.name}({args})"
+
+
+@dataclass(frozen=True)
+class CaseLit(LExpr):
+    """``case e of { n1 → e1; …; _ → d }`` — branch on an ``Int#`` literal.
+
+    The scrutinee is unboxed, hence strict; exactly one branch is taken
+    (the first alternative whose literal equals the scrutinee, else the
+    default).  This is what surface programs like ``sumTo#`` compile
+    their ``case n ==# 0# of { 1# -> …; _ -> … }`` conditionals into.
+    """
+
+    scrutinee: LExpr
+    alternatives: Tuple[Tuple[int, LExpr], ...]
+    default: LExpr
+
+    def free_vars(self) -> FrozenSet[str]:
+        free = self.scrutinee.free_vars() | self.default.free_vars()
+        for _, branch in self.alternatives:
+            free |= branch.free_vars()
+        return free
+
+    def _map(self, fn) -> "CaseLit":
+        return CaseLit(fn(self.scrutinee),
+                       tuple((lit, fn(branch))
+                             for lit, branch in self.alternatives),
+                       fn(self.default))
+
+    def substitute(self, name: str, replacement: LExpr) -> LExpr:
+        return self._map(lambda e: e.substitute(name, replacement))
+
+    def substitute_type(self, name: str, replacement: LType) -> LExpr:
+        return self._map(lambda e: e.substitute_type(name, replacement))
+
+    def substitute_rep(self, name: str, replacement: LRep) -> LExpr:
+        return self._map(lambda e: e.substitute_rep(name, replacement))
+
+    def is_value(self) -> bool:
+        return False
+
+    def pretty(self) -> str:
+        alts = "; ".join(f"{lit} -> {branch.pretty()}"
+                         for lit, branch in self.alternatives)
+        if alts:
+            alts += "; "
+        return (f"case {self.scrutinee.pretty()} of {{ {alts}"
+                f"_ -> {self.default.pretty()} }}")
 
 
 @dataclass(frozen=True)

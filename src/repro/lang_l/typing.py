@@ -26,10 +26,14 @@ from ..core.errors import (
     ScopeError,
     TypeCheckError,
 )
+from ..core.primops import INT_PRIMOPS
 from .syntax import (
     App,
     Case,
+    CaseLit,
     Con,
+    Fix,
+    PrimOp,
     Context,
     ErrorExpr,
     I,
@@ -239,6 +243,54 @@ def type_of(ctx: Context, expr: LExpr) -> LType:
                 f"case scrutinee must have type Int, got "
                 f"{scrutinee_type.pretty()}")
         return type_of(ctx.bind_term(expr.binder, INT_HASH), expr.body)
+
+    if isinstance(expr, Fix):
+        # E_FIX: the binder must be pointer-kinded — unrolling ties the
+        # knot through a thunk, and there is no thunk at TYPE I.
+        kind = kind_of(ctx, expr.var_type)
+        if kind != KIND_PTR:
+            raise TypeCheckError(
+                f"fix binder {expr.var!r} has type {expr.var_type.pretty()} "
+                f"of kind {kind.pretty()}; recursion needs a pointer-kinded "
+                "(TYPE P) binder")
+        body_type = type_of(ctx.bind_term(expr.var, expr.var_type), expr.body)
+        if body_type != expr.var_type:
+            raise TypeCheckError(
+                f"fix body has type {body_type.pretty()}, expected the "
+                f"binder type {expr.var_type.pretty()}")
+        return expr.var_type
+
+    if isinstance(expr, PrimOp):
+        arity = INT_PRIMOPS.get(expr.name)  # E_PRIMOP
+        if arity is None:
+            raise TypeCheckError(f"unknown primop {expr.name!r}")
+        if len(expr.arguments) != arity:
+            raise TypeCheckError(
+                f"primop {expr.name!r} expects {arity} arguments, got "
+                f"{len(expr.arguments)}")
+        for argument in expr.arguments:
+            argument_type = type_of(ctx, argument)
+            if argument_type != INT_HASH:
+                raise TypeCheckError(
+                    f"primop {expr.name!r} expects Int# arguments, got "
+                    f"{argument_type.pretty()}")
+        return INT_HASH
+
+    if isinstance(expr, CaseLit):
+        scrutinee_type = type_of(ctx, expr.scrutinee)  # E_CASELIT
+        if scrutinee_type != INT_HASH:
+            raise TypeCheckError(
+                f"literal-case scrutinee must have type Int#, got "
+                f"{scrutinee_type.pretty()}")
+        result_type = type_of(ctx, expr.default)
+        for literal, branch in expr.alternatives:
+            branch_type = type_of(ctx, branch)
+            if branch_type != result_type:
+                raise TypeCheckError(
+                    f"literal-case branch {literal} has type "
+                    f"{branch_type.pretty()}, expected "
+                    f"{result_type.pretty()}")
+        return result_type
 
     if isinstance(expr, ErrorExpr):
         return ERROR_TYPE  # E_ERROR

@@ -15,6 +15,7 @@ from .machine import (
     AppLitFrame,
     AppVarFrame,
     CaseFrame,
+    CaseLitFrame,
     ForceFrame,
     Frame,
     LetFrame,
@@ -22,6 +23,7 @@ from .machine import (
     MachineCosts,
     MachineResult,
     MachineState,
+    PrimFrame,
     run,
 )
 from .syntax import (
@@ -29,14 +31,17 @@ from .syntax import (
     MAppLit,
     MAppVar,
     MCase,
+    MCaseLit,
     MConLit,
     MConVar,
     MError,
     MExpr,
+    MFix,
     MLam,
     MLet,
     MLetStrict,
     MLit,
+    MPrimOp,
     MVar,
     MVarRef,
     VarSort,

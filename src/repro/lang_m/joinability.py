@@ -36,14 +36,17 @@ from .syntax import (
     MAppLit,
     MAppVar,
     MCase,
+    MCaseLit,
     MConLit,
     MConVar,
     MError,
     MExpr,
+    MFix,
     MLam,
     MLet,
     MLetStrict,
     MLit,
+    MPrimOp,
     MVar,
     MVarRef,
     fresh_pointer_var,
@@ -109,6 +112,25 @@ def alpha_equivalent(t1: MExpr, t2: MExpr,
         inner = dict(env)
         inner[t1.binder] = t2.binder
         return alpha_equivalent(t1.body, t2.body, inner)
+    if isinstance(t1, MFix) and isinstance(t2, MFix):
+        inner = dict(env)
+        inner[t1.var] = t2.var
+        return alpha_equivalent(t1.body, t2.body, inner)
+    if isinstance(t1, MPrimOp) and isinstance(t2, MPrimOp):
+        return (t1.name == t2.name
+                and len(t1.arguments) == len(t2.arguments)
+                and all(alpha_equivalent(a1, a2, env)
+                        for a1, a2 in zip(t1.arguments, t2.arguments)))
+    if isinstance(t1, MCaseLit) and isinstance(t2, MCaseLit):
+        if not alpha_equivalent(t1.scrutinee, t2.scrutinee, env):
+            return False
+        if len(t1.alternatives) != len(t2.alternatives):
+            return False
+        for (lit1, branch1), (lit2, branch2) in zip(t1.alternatives,
+                                                    t2.alternatives):
+            if lit1 != lit2 or not alpha_equivalent(branch1, branch2, env):
+                return False
+        return alpha_equivalent(t1.default, t2.default, env)
     return False
 
 

@@ -5,9 +5,10 @@ continuation frames, and a heap mapping pointer variables to (possibly
 unevaluated) expressions.  The transition rules split into two groups:
 
 * when the expression is **not** a value, the rule is chosen by the shape of
-  the expression (PAPP, IAPP, VAL, EVAL, LET, SLET, CASE, ERR);
+  the expression (PAPP, IAPP, VAL, EVAL, LET, SLET, CASE, ERR, and — for
+  the whole-language extension — FIX, PRIM/PRIMARG, CASELIT);
 * when the expression **is** a value, the rule is chosen by the top stack
-  frame (PPOP, IPOP, FCE, ILET, IMAT).
+  frame (PPOP, IPOP, FCE, ILET, IMAT, PRIMPOP, LMAT).
 
 Rule EVAL pops the heap binding while the thunk is being forced and rule FCE
 writes the computed value back — this is exactly GHC's thunk update
@@ -23,18 +24,22 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.errors import MachineError
+from ..core.primops import primop_delta
 from .syntax import (
     MAppLit,
     MAppVar,
     MCase,
+    MCaseLit,
     MConLit,
     MConVar,
     MError,
     MExpr,
+    MFix,
     MLam,
     MLet,
     MLetStrict,
     MLit,
+    MPrimOp,
     MVar,
     MVarRef,
 )
@@ -86,6 +91,27 @@ class CaseFrame(Frame):
     body: MExpr
 
 
+@dataclass(frozen=True)
+class PrimFrame(Frame):
+    """``Prim(op, n̄; t̄)`` — a primop waiting for its next operand.
+
+    ``done`` holds the literals already computed (left to right) and
+    ``pending`` the operand expressions still to evaluate.
+    """
+
+    name: str
+    done: Tuple[int, ...]
+    pending: Tuple[MExpr, ...]
+
+
+@dataclass(frozen=True)
+class CaseLitFrame(Frame):
+    """``CaseLit(alts, d)`` — select a branch once the scrutinee is ``n``."""
+
+    alternatives: Tuple[Tuple[int, MExpr], ...]
+    default: MExpr
+
+
 Stack = Tuple[Frame, ...]
 Heap = Dict[MVar, MExpr]
 
@@ -112,6 +138,9 @@ class MachineCosts:
     stack_pushes: int = 0
     stack_pops: int = 0
     substitutions: int = 0
+    primops: int = 0
+    fix_unrollings: int = 0
+    branches: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -123,6 +152,9 @@ class MachineCosts:
             "stack_pushes": self.stack_pushes,
             "stack_pops": self.stack_pops,
             "substitutions": self.substitutions,
+            "primops": self.primops,
+            "fix_unrollings": self.fix_unrollings,
+            "branches": self.branches,
         }
 
 
@@ -248,6 +280,35 @@ class Machine:
             self.costs.stack_pushes += 1
             self.expr = expr.scrutinee
             return
+        if isinstance(expr, MFix):  # FIX
+            # Tie the knot through the heap: allocate the fix term itself
+            # as a thunk under its binder and continue with the body, so
+            # recursive occurrences force it like any other pointer.
+            self.heap[expr.var] = expr
+            self.costs.heap_allocations += 1
+            self.costs.fix_unrollings += 1
+            self.expr = expr.body
+            return
+        if isinstance(expr, MPrimOp):  # PRIM / PRIMARG
+            done: List[int] = []
+            rest = expr.arguments
+            while rest and isinstance(rest[0], MLit):
+                done.append(rest[0].value)
+                rest = rest[1:]
+            if rest:
+                self.stack.insert(0, PrimFrame(expr.name, tuple(done),
+                                               tuple(rest[1:])))
+                self.costs.stack_pushes += 1
+                self.expr = rest[0]
+                return
+            self._apply_primop(expr.name, done)
+            return
+        if isinstance(expr, MCaseLit):  # CASELIT
+            self.stack.insert(0, CaseLitFrame(expr.alternatives,
+                                              expr.default))
+            self.costs.stack_pushes += 1
+            self.expr = expr.scrutinee
+            return
         if isinstance(expr, MError):  # ERR
             self.aborted = True
             return
@@ -308,7 +369,49 @@ class Machine:
                 return
             raise MachineError(
                 f"case expected I#[n], got {value.pretty()}")
+        if isinstance(frame, PrimFrame):  # PRIMPOP
+            if not isinstance(value, MLit):
+                raise MachineError(
+                    f"primop {frame.name!r} expected an integer operand, "
+                    f"got {value.pretty()}")
+            done = frame.done + (value.value,)
+            pending = frame.pending
+            while pending and isinstance(pending[0], MLit):
+                done += (pending[0].value,)
+                pending = pending[1:]
+            if pending:
+                self.stack.insert(0, PrimFrame(frame.name, done,
+                                               pending[1:]))
+                self.costs.stack_pushes += 1
+                self.expr = pending[0]
+                return
+            self._apply_primop(frame.name, list(done))
+            return
+        if isinstance(frame, CaseLitFrame):  # LMAT
+            if not isinstance(value, MLit):
+                raise MachineError(
+                    f"literal case expected an integer scrutinee, got "
+                    f"{value.pretty()}")
+            self.costs.branches += 1
+            for literal, branch in frame.alternatives:
+                if literal == value.value:
+                    self.expr = branch
+                    return
+            self.expr = frame.default
+            return
         raise MachineError(f"unknown stack frame {frame!r}")
+
+    def _apply_primop(self, name: str, operands: List[int]) -> None:
+        """The delta rule (PRIM); division by zero aborts like ERR."""
+        try:
+            result = primop_delta(name, operands)
+        except (KeyError, ValueError) as exc:
+            raise MachineError(f"ill-formed primop application: {exc}")
+        self.costs.primops += 1
+        if result is None:  # PRIMBOT: quot/rem by zero is ⊥
+            self.aborted = True
+            return
+        self.expr = MLit(result)
 
     # -- drivers ---------------------------------------------------------------
 

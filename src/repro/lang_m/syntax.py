@@ -371,6 +371,113 @@ class MConLit(MExpr):
 
 
 @dataclass(frozen=True)
+class MFix(MExpr):
+    """``fix p. t`` — recursion, compiled from L's ``fix x:τ. e``.
+
+    The binder is always a *pointer* variable: the machine ties the knot
+    by allocating the ``fix`` term itself as a heap thunk under ``p`` and
+    continuing with the body (rule FIX), so recursive occurrences go
+    through an ordinary heap lookup / EVAL force.
+    """
+
+    var: MVar
+    body: MExpr
+
+    def __post_init__(self) -> None:
+        if not self.var.is_pointer():
+            raise ValueError("fix binds pointer variables only")
+
+    def free_vars(self) -> FrozenSet[MVar]:
+        return self.body.free_vars() - {self.var}
+
+    def substitute_var(self, var: MVar, replacement: MVar) -> MExpr:
+        if var == self.var:
+            return self
+        if replacement == self.var:
+            fresh = fresh_pointer_var(self.var.name + "_")
+            renamed = self.body.substitute_var(self.var, fresh)
+            return MFix(fresh, renamed.substitute_var(var, replacement))
+        return MFix(self.var, self.body.substitute_var(var, replacement))
+
+    def substitute_literal(self, var: MVar, value: int) -> MExpr:
+        if var == self.var:
+            return self
+        return MFix(self.var, self.body.substitute_literal(var, value))
+
+    def pretty(self) -> str:
+        return f"fix {self.var.name}. {self.body.pretty()}"
+
+
+@dataclass(frozen=True)
+class MPrimOp(MExpr):
+    """``op#(a1, …, ak)`` — a saturated integer primop.
+
+    Compiled code keeps the operands in A-normal form (literals or
+    integer variables that strict lets substitute away), but the machine
+    also evaluates arbitrary operand expressions via ``PrimFrame``, so
+    hand-written M terms work too.
+    """
+
+    name: str
+    arguments: "tuple[MExpr, ...]"
+
+    def free_vars(self) -> FrozenSet[MVar]:
+        free: FrozenSet[MVar] = frozenset()
+        for argument in self.arguments:
+            free |= argument.free_vars()
+        return free
+
+    def substitute_var(self, var: MVar, replacement: MVar) -> MExpr:
+        return MPrimOp(self.name,
+                       tuple(a.substitute_var(var, replacement)
+                             for a in self.arguments))
+
+    def substitute_literal(self, var: MVar, value: int) -> MExpr:
+        return MPrimOp(self.name,
+                       tuple(a.substitute_literal(var, value)
+                             for a in self.arguments))
+
+    def pretty(self) -> str:
+        args = ", ".join(a.pretty() for a in self.arguments)
+        return f"{self.name}({args})"
+
+
+@dataclass(frozen=True)
+class MCaseLit(MExpr):
+    """``case t of { n1 → t1; …; _ → d }`` — branch on an integer literal."""
+
+    scrutinee: MExpr
+    alternatives: "tuple[tuple[int, MExpr], ...]"
+    default: MExpr
+
+    def free_vars(self) -> FrozenSet[MVar]:
+        free = self.scrutinee.free_vars() | self.default.free_vars()
+        for _, branch in self.alternatives:
+            free |= branch.free_vars()
+        return free
+
+    def _map(self, fn) -> "MCaseLit":
+        return MCaseLit(fn(self.scrutinee),
+                        tuple((lit, fn(branch))
+                              for lit, branch in self.alternatives),
+                        fn(self.default))
+
+    def substitute_var(self, var: MVar, replacement: MVar) -> MExpr:
+        return self._map(lambda e: e.substitute_var(var, replacement))
+
+    def substitute_literal(self, var: MVar, value: int) -> MExpr:
+        return self._map(lambda e: e.substitute_literal(var, value))
+
+    def pretty(self) -> str:
+        alts = "; ".join(f"{lit} -> {branch.pretty()}"
+                         for lit, branch in self.alternatives)
+        if alts:
+            alts += "; "
+        return (f"case {self.scrutinee.pretty()} of {{ {alts}"
+                f"_ -> {self.default.pretty()} }}")
+
+
+@dataclass(frozen=True)
 class MError(MExpr):
     """The ``error`` constant — aborts the machine (rule ERR)."""
 

@@ -113,21 +113,27 @@ def _as_double(value: Value) -> float:
 
 
 def _exact_quot(a: int, b: int) -> int:
-    """Truncate-towards-zero division on exact integers, total at b == 0.
+    """Truncate-towards-zero division on exact integers; ⊥ at b == 0.
 
     The previous ``int(a / b)`` detoured through a 53-bit float: corpus
     fuzzing found 15+-digit operands where the quotient came back wrong
     (pinned in tests/golden/fuzz/quot_precision.lev).
+
+    A zero divisor raises: the seed quietly returned 0, which disagreed
+    with the M machine's primop rule (which aborts).  Every backend —
+    this evaluator, the compiled closures (which call this table), the L
+    semantics and the machine — now treats division by zero as the same
+    bottom outcome (pinned in tests/golden/fuzz/quot_by_zero.lev).
     """
     if b == 0:
-        return 0
+        raise EvaluationError("quotInt# by zero is undefined (bottom)")
     quotient = abs(a) // abs(b)
     return -quotient if (a < 0) != (b < 0) else quotient
 
 
 def _exact_rem(a: int, b: int) -> int:
     if b == 0:
-        return 0
+        raise EvaluationError("remInt# by zero is undefined (bottom)")
     return a - b * _exact_quot(a, b)
 
 

@@ -58,7 +58,7 @@ class TestCompiledCorpus:
         assert report.programs == CORPUS_SIZE
         assert report.ok, report.pretty(max_failures=3)
         # The oracles must actually engage, not silently skip:
-        assert report.counters["machine_checked"] >= CORPUS_SIZE // 10
+        assert report.counters["machine_engaged"] >= CORPUS_SIZE // 10
         assert report.counters["reference_checked"] >= CORPUS_SIZE // 2
 
     def test_compiled_and_interpreted_values_identical(self, corpus, session):

@@ -163,16 +163,23 @@ class TestRunAndCompile:
         assert result.lazy_lets >= 1  # the boxed argument gets a lazy let
 
     def test_compile_outside_fragment_reports_diagnostic(self):
-        result = Session().compile(SUM_TO, "sumto.lev")  # recursive
+        # A String-typed binding is genuinely out of the fragment.
+        result = Session().compile(
+            "main :: String\nmain = \"hi\"\n", "string.lev")
         assert not result.ok
         assert any(d.stage == "compile" for d in result.diagnostics)
 
-    def test_lower_entry_rejects_recursion(self):
+    def test_lower_entry_accepts_recursion_via_fix(self):
+        # Recursive bindings lower through L's fix form and the machine
+        # agrees with the evaluator on the result.
         parsed = parse_module(SUM_TO, "sumto.lev")
         check = Session().check(SUM_TO, "sumto.lev")
         schemes = {b.name: b.scheme for b in check.bindings}
-        with pytest.raises(LoweringError):
-            lower_entry(parsed.module, schemes, "sumTo#")
+        term = lower_entry(parsed.module, schemes, "sumTo#")
+        assert "fix sumTo#" in term.pretty()
+        result = Session().run(SUM_TO, "sumto.lev")
+        assert result.ok and result.value == "5050#"
+        assert result.machine_agrees is True
 
 
 # ---------------------------------------------------------------------------

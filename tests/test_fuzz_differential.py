@@ -37,9 +37,35 @@ class TestFixedSeedCorpus:
         assert report.ok, report.pretty(max_failures=3)
         # The oracles must actually engage, not silently skip:
         assert report.counters["fragment_programs"] >= CORPUS_SIZE // 10
-        assert report.counters["machine_checked"] >= CORPUS_SIZE // 10
+        assert report.counters["machine_engaged"] >= CORPUS_SIZE // 10
         assert report.counters["reference_checked"] >= CORPUS_SIZE // 2
         assert report.counters["unsigned_bindings"] >= 10
+        # Tri-state accounting (the old `machine_agrees is None` test
+        # conflated "ran, not comparable" with "never ran"): skips are
+        # counted separately, and engaged + skipped covers the corpus.
+        assert report.counters["machine_engaged"] \
+            + report.counters["machine_skipped_out_of_fragment"] \
+            == CORPUS_SIZE
+        # Per-program Simulation discharge (§6.3) runs on every
+        # machine-engaged program in the corpus.
+        assert report.counters["validated"] \
+            + report.counters.get("validation_skipped", 0) \
+            == report.counters["machine_engaged"]
+        assert report.counters["obligations_discharged"] \
+            >= report.counters["validated"]
+
+    def test_all_fragment_corpus_engages_the_machine_everywhere(self):
+        # "Zero programs skipped for recursion or primops": with the
+        # whole-language fragment (fix + primops + literal cases + loop
+        # helpers) every fragment-mode program must lower and cross-check.
+        harness = DifferentialHarness()
+        corpus = generate_corpus(CORPUS_SEED + 2, 150,
+                                 GenOptions(fragment_bias=1.0))
+        report = harness.run_corpus(corpus)
+        assert report.ok, report.pretty(max_failures=3)
+        assert report.counters["fragment_programs"] == 150
+        assert report.counters["machine_engaged"] == 150
+        assert "machine_skipped_out_of_fragment" not in report.counters
 
     def test_deeper_corpus_smoke(self, harness):
         corpus = generate_corpus(CORPUS_SEED + 1, 60,

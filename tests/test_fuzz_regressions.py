@@ -35,11 +35,20 @@ class TestQuotRemPrecision:
         assert result.value == ("(# 1537228672809129301#, 2#, "
                                 "-1537228672809129301# #)")
 
-    def test_division_by_zero_stays_total(self, session):
-        result = session.run("main :: Int#\n"
-                             "main = quotInt# 5# (remInt# 7# 0#)\n")
-        # b == 0 yields 0 on both primops (the seed's documented behaviour).
-        assert result.ok and result.value == "0#"
+    def test_division_by_zero_is_bottom(self, session):
+        # The seed made quot/rem *total* (b == 0 yielded 0).  Division by
+        # zero is now bottom on every backend — evaluator, compiled
+        # closures and the M machine — and the cross-check records that
+        # both sides agreed on bottom.
+        result = session.run(_source("quot_by_zero.lev"), "quot_by_zero.lev")
+        assert not result.ok
+        assert any("by zero" in d.message for d in result.check.errors)
+        assert result.machine_agrees is True
+
+    def test_rem_by_zero_is_bottom_too(self, session):
+        result = session.run("main :: Int#\nmain = remInt# 9# 0#\n")
+        assert not result.ok
+        assert any("remInt#" in d.message for d in result.check.errors)
 
 
 class TestStrictUnboxedLet:

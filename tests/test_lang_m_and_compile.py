@@ -194,3 +194,95 @@ class TestCompilation:
         assert good.compatible_with(ctx)
         assert not bad.compatible_with(ctx)
         assert not VarEnv().compatible_with(ctx)
+
+
+class TestWholeLanguageMachine:
+    """The fix / primop / literal-case machine rules (whole-language L)."""
+
+    def test_primop_on_literals(self):
+        from repro.lang_m import MPrimOp
+
+        result = run(MPrimOp("+#", (MLit(1), MLit(2))))
+        assert result.unwrap() == MLit(3)
+        assert result.costs.primops == 1
+
+    def test_primop_frames_evaluate_operands_left_to_right(self):
+        from repro.lang_m import MPrimOp
+
+        nested = MPrimOp("-#", (MPrimOp("+#", (MLit(1), MLit(2))),
+                                MPrimOp("*#", (MLit(2), MLit(3)))))
+        result = run(nested)
+        assert result.unwrap() == MLit(-3)
+        assert result.costs.primops == 3
+
+    def test_quot_by_zero_aborts(self):
+        from repro.lang_m import MPrimOp
+
+        result = run(MPrimOp("quotInt#", (MLit(1), MLit(0))))
+        assert result.aborted
+        result = run(MPrimOp("remInt#", (MLit(1), MLit(0))))
+        assert result.aborted
+
+    def test_unknown_primop_is_a_machine_error(self):
+        from repro.lang_m import MPrimOp
+
+        with pytest.raises(MachineError):
+            run(MPrimOp("frobInt#", (MLit(1),)))
+
+    def test_case_lit_selects_branch_then_default(self):
+        from repro.lang_m import MCaseLit, MPrimOp
+
+        scrutinee = MPrimOp("+#", (MLit(1), MLit(1)))
+        expr = MCaseLit(scrutinee, ((1, MLit(10)), (2, MLit(20))), MLit(99))
+        result = run(expr)
+        assert result.unwrap() == MLit(20)
+        assert result.costs.branches == 1
+        fallthrough = MCaseLit(MLit(7), ((1, MLit(10)),), MLit(99))
+        assert run(fallthrough).unwrap() == MLit(99)
+
+    def test_fix_allocates_and_continues_with_the_body(self):
+        from repro.lang_m import MFix
+
+        p = fresh_pointer_var("loop")
+        result = run(MFix(p, MLit(7)))
+        assert result.unwrap() == MLit(7)
+        assert result.costs.fix_unrollings == 1
+        assert result.costs.heap_allocations == 1
+
+    def test_fix_is_rejected_on_integer_binders(self):
+        from repro.lang_m import MFix
+
+        with pytest.raises(ValueError):
+            MFix(fresh_integer_var(), MLit(1))
+
+    def test_compiled_recursion_memoises_the_fix_thunk(self):
+        """100 loop iterations re-enter the knot via EVAL/FCE sharing:
+        the heap cell is blackholed and updated on the first unrolling,
+        so `fix_unrollings` stays O(1), not O(n)."""
+        from repro.driver.lower import lower_entry
+        from repro.frontend import parse_module
+        from repro.infer import infer_module
+
+        source = (
+            "sumTo# :: Int# -> Int# -> Int#\n"
+            "sumTo# acc n = case n <=# 0# of "
+            "{ 1# -> acc; _ -> sumTo# (acc +# n) (n -# 1#) }\n"
+            "main :: Int#\n"
+            "main = sumTo# 0# 100#\n")
+        parsed = parse_module(source)
+        schemes = infer_module(parsed.module).schemes
+        term = lower_entry(parsed.module, schemes, "main")
+        compiled = compile_expr(term)
+        assert compiled.fix_forms == 1
+        assert compiled.primop_forms >= 3
+        outcome = run(compiled.code)
+        assert outcome.unwrap() == MLit(5050)
+        assert outcome.costs.fix_unrollings <= 3
+        assert outcome.costs.primops >= 300
+        assert outcome.costs.branches >= 100
+
+    def test_costs_dict_carries_the_new_counters(self):
+        from repro.lang_m import MPrimOp
+
+        costs = run(MPrimOp("+#", (MLit(1), MLit(2)))).costs.as_dict()
+        assert {"primops", "fix_unrollings", "branches"} <= set(costs)

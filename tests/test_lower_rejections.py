@@ -2,7 +2,12 @@
 
 ``repro.driver.lower`` is deliberately partial — the Section 5.1
 restrictions make the fragment compilable, and everything outside it must
-be *reported*, not crashed on.  Two layers are pinned here:
+be *reported*, not crashed on.  Since the whole-language extension the
+fragment covers recursion (via ``fix``), the ``Int#`` primops and literal
+cases, so rejection is now *type-driven*: only programs using types other
+than ``Int``/``Int#``/arrows (or genuinely un-lowerable shapes, like
+recursion at the unboxed type itself) are skipped.  Two layers are pinned
+here:
 
 * the raw :class:`~repro.driver.lower.LoweringError` (a
   :class:`~repro.core.errors.CompilationError`) with a message naming the
@@ -41,29 +46,32 @@ def _lowering_error(source, entry="main"):
     return str(exc_info.value)
 
 
+def _lowered(source, entry="main"):
+    parsed = parse_module(source)
+    result = infer_module(parsed.module)
+    return lower_entry(parsed.module, result.schemes, entry)
+
+
 class TestLoweringErrorMessages:
     """The raw errors name the construct that left the fragment."""
 
-    def test_recursion(self):
+    def test_recursion_at_unboxed_type(self):
+        # fix needs a pointer-kinded binder; a recursive Int# binding has
+        # no thunk to tie the knot through.
         message = _lowering_error(
             "main :: Int#\nmain = main\n")
         assert "recursive" in message
         assert "no fixpoint" in message
 
-    def test_recursive_helper_called_by_entry(self):
-        # The helper is skipped (outside the fragment), so the entry's
-        # reference to it is the variable error, not a crash.
+    def test_reference_to_a_skipped_helper(self):
+        # The helper is skipped (its body leaves the fragment), so the
+        # entry's reference to it is the variable error, not a crash.
         message = _lowering_error(
-            "loop :: Int# -> Int#\n"
-            "loop n = loop n\n"
+            "helper :: Int# -> Int#\n"
+            "helper n = if True then n else 0#\n"
             "main :: Int#\n"
-            "main = loop 1#\n")
-        assert "'loop'" in message
-
-    def test_primop(self):
-        message = _lowering_error(
-            "main :: Int#\nmain = 1# +# 2#\n")
-        assert "outside the L fragment" in message
+            "main = helper 1#\n")
+        assert "'helper'" in message
 
     def test_levity_polymorphic_scheme(self):
         message = _lowering_error(
@@ -86,10 +94,16 @@ class TestLoweringErrorMessages:
             "main :: Int#\nmain = let x = 1# in x\n")
         assert "needs a type signature" in message
 
-    def test_non_unboxing_case(self):
+    def test_literal_case_without_wildcard(self):
         message = _lowering_error(
-            "main :: Int#\nmain = case 1# of { 1# -> 2#; _ -> 3# }\n")
-        assert "I# x -> rhs" in message
+            "main :: Int#\nmain = case 1# of { 1# -> 2# }\n")
+        assert "wildcard" in message
+
+    def test_constructor_case_outside_the_fragment(self):
+        message = _lowering_error(
+            "main :: Int#\n"
+            "main = case True of { True -> 1#; _ -> 2# }\n")
+        assert "in the L fragment" in message
 
     def test_if_expression(self):
         message = _lowering_error(
@@ -121,18 +135,62 @@ class TestLoweringErrorMessages:
         assert issubclass(LoweringError, CompilationError)
 
 
+class TestWholeLanguageLowering:
+    """Recursion, primops and literal cases now lower instead of erroring."""
+
+    def test_recursion_lowers_via_fix(self):
+        term = _lowered(
+            "loop :: Int# -> Int#\n"
+            "loop n = case n <=# 0# of { 1# -> 0#; _ -> loop (n -# 1#) }\n"
+            "main :: Int#\n"
+            "main = loop 3#\n")
+        assert "fix loop" in term.pretty()
+
+    def test_saturated_primop_lowers(self):
+        term = _lowered("main :: Int#\nmain = 1# +# 2#\n")
+        assert term.pretty() == "+#(1, 2)"
+
+    def test_undersaturated_primop_eta_expands(self):
+        term = _lowered(
+            "plus :: Int# -> Int# -> Int#\n"
+            "plus = (+#)\n"
+            "main :: Int#\n"
+            "main = plus 1# 2#\n")
+        assert "+#(" in term.pretty()
+
+    def test_literal_case_lowers(self):
+        term = _lowered(
+            "main :: Int#\nmain = case 1# of { 1# -> 2#; _ -> 3# }\n")
+        assert "case 1 of { 1 -> 2; _ -> 3 }" == term.pretty()
+
+    def test_boxed_literal_case_unboxes_first(self):
+        term = _lowered(
+            "main :: Int#\nmain = case 5 of { 5 -> 1#; _ -> 0# }\n")
+        pretty = term.pretty()
+        assert "I#[" in pretty and "{ 5 -> 1; _ -> 0 }" in pretty
+
+    def test_parameter_shadowing_the_binding_is_legal(self):
+        # Once recursion is admitted the binding's own name may be
+        # shadowed by a parameter: scoping resolves it, no error.
+        term = _lowered(
+            "f :: Int# -> Int#\n"
+            "f f = f\n"
+            "main :: Int#\n"
+            "main = f 7#\n")
+        from repro.lang_l import Context, evaluate
+        assert evaluate(term).value.pretty() == "7"
+
+
 class TestDriverSurface:
     """The pipeline turns LoweringError into diagnostics, never a crash."""
 
     REJECTED = {
-        "recursion": "main :: Int#\nmain = main\n",
-        "primop": "main :: Int#\nmain = 1# +# 2#\n",
+        "unboxed_recursion": "main :: Int#\nmain = main\n",
         "open_levity": ("main :: forall (r :: Rep) (a :: TYPE r)."
                         " String -> a\n"
                         "main s = error s\n"),
         "unannotated_lambda": "main :: Int# -> Int#\nmain = \\x -> x\n",
-        "bad_case": "main :: Int#\n"
-                    "main = case 1# of { 1# -> 2#; _ -> 3# }\n",
+        "if_on_bool": "main :: Int#\nmain = if True then 1# else 2#\n",
     }
 
     @pytest.mark.parametrize("name", sorted(REJECTED))
@@ -145,16 +203,16 @@ class TestDriverSurface:
         assert compile_errors[0].binding == "main"
         assert compile_errors[0].span is not None
 
-    @pytest.mark.parametrize("name", ["primop", "bad_case"])
-    def test_run_degrades_to_a_note_and_still_evaluates(self, session, name):
-        result = session.run(self.REJECTED[name], f"{name}.lev")
+    def test_run_degrades_to_a_note_and_still_evaluates(self, session):
+        result = session.run(self.REJECTED["if_on_bool"], "if_on_bool.lev")
         assert result.ok, result.check.pretty()
         assert result.machine_value is None
         notes = [d for d in result.check.diagnostics
                  if d.stage == "compile" and d.severity == "note"]
         assert notes and "not cross-checked" in notes[0].message
 
-    def test_run_of_terminating_recursion_notes_the_skip(self, session):
+    def test_run_of_terminating_recursion_cross_checks_the_machine(
+            self, session):
         result = session.run(
             "count :: Int# -> Int#\n"
             "count n = case n <=# 0# of "
@@ -162,10 +220,8 @@ class TestDriverSurface:
             "main :: Int#\n"
             "main = count 3#\n", "count.lev")
         assert result.ok and result.value == "3#"
-        assert result.machine_value is None
-        notes = [d for d in result.check.diagnostics
-                 if d.stage == "compile" and d.severity == "note"]
-        assert notes and "not cross-checked" in notes[0].message
+        assert result.machine_value == "3"
+        assert result.machine_agrees is True
 
     def test_run_of_levity_polymorphic_entry_is_skipped_not_crashed(
             self, session):

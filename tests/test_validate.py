@@ -1,0 +1,166 @@
+"""Per-program translation validation (:mod:`repro.validate`).
+
+Three layers are pinned here:
+
+* :func:`repro.validate.validate_term` — obligation discharge along real
+  L traces, agreement on ⊥, and *first-diverging-step* reporting when the
+  compiler is (deliberately) sabotaged;
+* the runner surface — files, project directories and skip reasons, plus
+  the ``python -m repro validate`` exit-code contract (nonzero only on
+  genuine divergence);
+* the session wiring — ``DriverOptions(validate=True)`` attaches a
+  report to every cross-checked ``RunResult``.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.driver import DriverOptions, Session
+from repro.lang_l import Fix, Lit, PrimOp
+from repro.validate import ValidationReport, validate_paths, validate_term
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+SUM_TO = (
+    "sumTo# :: Int# -> Int# -> Int#\n"
+    "sumTo# acc n = case n <=# 0# of "
+    "{ 1# -> acc; _ -> sumTo# (acc +# n) (n -# 1#) }\n"
+    "main :: Int#\n"
+    "main = sumTo# 0# 10#\n")
+
+
+class TestValidateTerm:
+    def test_discharges_obligations_along_a_primop_trace(self):
+        term = PrimOp("+#", (PrimOp("*#", (Lit(2), Lit(3))), Lit(4)))
+        report = validate_term(term)
+        assert report.ok and report.engaged
+        assert report.l_steps >= 2
+        assert report.obligations_checked == report.l_steps
+        assert report.first_divergence is None
+        assert report.machine_agrees is True
+        assert report.machine_value == "10"
+
+    def test_agreement_on_bottom(self):
+        # quot-by-zero: L steps to ⊥ (S_PRIMBOT), the machine aborts —
+        # that is agreement, not a divergence.
+        term = PrimOp("quotInt#", (Lit(1), Lit(0)))
+        report = validate_term(term)
+        assert report.ok, report.pretty()
+        assert report.l_value == "⊥"
+        assert report.machine_value == "error"
+        assert report.machine_agrees is True
+
+    def test_align_steps_caps_the_sweep_not_the_answer(self):
+        term = PrimOp("+#", (PrimOp("+#", (Lit(1), Lit(2))),
+                             PrimOp("+#", (Lit(3), Lit(4)))))
+        report = validate_term(term, align_steps=1)
+        assert report.ok
+        assert report.obligations_checked == 1
+        assert report.machine_agrees is True
+
+    def test_sabotaged_compiler_reports_the_first_diverging_step(
+            self, monkeypatch):
+        # Simulate a miscompilation: every compiled `Lit 3` becomes
+        # `MLit 4`.  The trace PrimOp(+#,1,2) -> Lit 3 then fails its
+        # §6.3 obligation at step 0, and the report localises it.
+        import repro.validate.alignment as alignment
+        from repro.lang_m.syntax import MLit
+
+        real = alignment.compile_expr
+
+        def sabotaged(expr, ctx):
+            result = real(expr, ctx)
+            if isinstance(expr, Lit) and expr.value == 3:
+                return dataclasses.replace(result, code=MLit(4))
+            return result
+
+        monkeypatch.setattr(alignment, "compile_expr", sabotaged)
+        report = validate_term(PrimOp("+#", (Lit(1), Lit(2))))
+        assert not report.ok
+        assert report.first_divergence == 0
+        assert report.failed and "not joinable" in report.failed[0].reason
+        assert "first diverging step is 0" in report.reason
+        assert "FAILED" in report.pretty()
+
+    def test_nontermination_is_a_skip_not_a_verdict(self):
+        # `(fix f. \x. f x) (I# 0)` spins forever; the validator cannot
+        # align a trace that never settles, and says so instead of
+        # rendering a verdict.
+        from repro.lang_l.syntax import App, INT, Var, arrow, boxed_int, lam
+
+        omega = Fix("f", arrow(INT, INT),
+                    lam("x", INT, App(Var("f"), Var("x"))))
+        report = validate_term(App(omega, boxed_int(0)), eval_steps=50)
+        assert not report.engaged
+        assert "did not settle" in report.reason
+
+
+class TestRunnerSurface:
+    def test_example_file_validates(self):
+        path = os.path.join(EXAMPLES, "sum_to.lev")
+        (report,) = validate_paths([path])
+        assert report.ok and report.engaged
+        assert report.machine_agrees is True
+        document = report.as_dict()
+        assert document["first_divergence"] is None
+        json.dumps(document)  # machine-readable
+
+    def test_out_of_fragment_entry_is_skipped_with_a_reason(self, tmp_path):
+        path = tmp_path / "bool.lev"
+        path.write_text("main :: Bool\nmain = True\n", encoding="utf-8")
+        (report,) = validate_paths([str(path)])
+        assert not report.engaged
+        assert "out of the L fragment" in report.reason
+        assert "skipped" in report.pretty()
+
+    def test_project_directory_goes_through_the_module_dag(self, tmp_path):
+        (tmp_path / "lib.lev").write_text(
+            "module Lib where\n"
+            "twice# :: Int# -> Int#\n"
+            "twice# n = n +# n\n", encoding="utf-8")
+        (tmp_path / "main.lev").write_text(
+            "module Main where\n"
+            "import Lib\n"
+            "main :: Int#\n"
+            "main = twice# 21#\n", encoding="utf-8")
+        (report,) = validate_paths([str(tmp_path)])
+        assert report.ok and report.engaged, report.pretty()
+        assert report.machine_value == "42"
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        good = os.path.join(EXAMPLES, "sum_to.lev")
+        skipped = tmp_path / "skip.lev"
+        skipped.write_text("main :: Bool\nmain = True\n", encoding="utf-8")
+        # Skips do not fail the run — only genuine divergence does.
+        assert main(["validate", good, str(skipped)]) == 0
+        out = capsys.readouterr().out
+        assert "1 engaged" in out and "0 divergence(s)" in out
+        assert main(["validate", "--json", good]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["ok"] is True
+
+
+class TestSessionWiring:
+    def test_run_attaches_a_validation_report(self):
+        session = Session(DriverOptions(validate=True, align_steps=8))
+        result = session.run(SUM_TO, "sum_to.lev")
+        assert result.ok and result.machine_agrees is True
+        assert isinstance(result.validation, ValidationReport)
+        assert result.validation.ok
+        assert result.validation.obligations_checked == 8
+
+    def test_bottom_entries_validate_too(self):
+        session = Session(DriverOptions(validate=True))
+        result = session.run("main :: Int#\nmain = quotInt# 1# 0#\n")
+        assert not result.ok
+        assert result.machine_agrees is True
+        assert result.validation is not None and result.validation.ok
+
+    def test_validation_is_off_by_default(self):
+        result = Session().run(SUM_TO, "sum_to.lev")
+        assert result.validation is None
