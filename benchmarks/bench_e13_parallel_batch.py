@@ -129,6 +129,12 @@ def test_report_parallel_batch_throughput(tmp_path):
     assert [payload_bytes(result_to_payload(r)) for r in cold] == \
         [payload_bytes(result_to_payload(r)) for r in warm], \
         "cache hits must be byte-identical to the results they cached"
+    # Store-level shape of the warm run (schema v4): answered from the
+    # file-entry shards alone, and a no-op save writes nothing back.
+    assert warm_cache.shards_written == 0
+    record_counter("e13.store.warm_shards_read", warm_cache.shards_read)
+    record_counter("e13.store.warm_shards_written",
+                   warm_cache.shards_written)
 
     cold_seconds = benchreport._TIMINGS["e13.cache_cold"]["seconds"]
     warm_seconds = benchreport._TIMINGS["e13.cache_warm"]["seconds"]

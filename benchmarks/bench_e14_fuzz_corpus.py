@@ -74,6 +74,11 @@ def test_report_fuzz_corpus_throughput(tmp_path):
     # whole from their file-level entries.
     assert warm_cache.file_hits == CORPUS_SIZE and warm_cache.misses == 0, \
         "warm run was not answered entirely from the cache"
+    # Store-level shape (schema v4): a warm no-op writes nothing back.
+    assert warm_cache.shards_written == 0
+    record_counter("e14.store.warm_shards_read", warm_cache.shards_read)
+    record_counter("e14.store.warm_shards_written",
+                   warm_cache.shards_written)
 
     sample = corpus[:DIFFERENTIAL_SAMPLE]
 

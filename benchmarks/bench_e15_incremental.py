@@ -32,13 +32,14 @@ import os
 import pytest
 
 from benchreport import emit, record_counter, report_only, time_op
-from repro.driver import ResultCache, Session, build_plan
+from repro.driver import DriverOptions, ResultCache, Session, build_plan
 from repro.driver.batch import (
     CheckStats,
     payload_bytes,
     result_to_payload,
 )
 from repro.frontend import parse_module
+from repro.telemetry import REGISTRY
 
 NUM_BINDINGS = 100
 CLUSTER = 10          # bindings per layered cluster
@@ -135,6 +136,26 @@ def test_report_incremental_recheck(tmp_path):
     assert warm_stats.cache_misses == 0
     assert payload_bytes(result_to_payload(warm[0])) == \
         payload_bytes(result_to_payload(cold[0]))
+    # Store-level shape of the warm no-op (schema v4): one file-entry
+    # shard read, nothing written back.
+    probe = throwaway_cache()
+    session.check_many([(FILENAME, source)], cache=probe)
+    assert probe.shards_written == 0
+    record_counter("e15.store.warm_shards_read", probe.shards_read)
+    record_counter("e15.store.warm_shards_written", probe.shards_written)
+
+    # -- warm no-op through the session's hot tier (no disk at all) ----------
+    tier = session.store_hot_tier()
+    session.check_many([(FILENAME, source)], cache=cache_path)  # charge it
+    hits_before = tier.hits
+    warm_hot = time_op(
+        "e15.warm_noop_hot",
+        lambda: session.check_many([(FILENAME, source)], cache=cache_path),
+        repeats=3, meta={"bindings": NUM_BINDINGS})
+    assert tier.hits > hits_before, "hot tier never engaged"
+    assert payload_bytes(result_to_payload(warm_hot[0])) == \
+        payload_bytes(result_to_payload(cold[0]))
+    record_counter("e15.store.hot_hits", tier.hits)
 
     # -- the headline: edit one leaf binding's body --------------------------
     leaf = f"b{NUM_BINDINGS - 1}"          # nothing depends on the last one
@@ -189,6 +210,34 @@ def test_report_incremental_recheck(tmp_path):
     assert payload_bytes(result_to_payload(scratch_mid)) == \
         payload_bytes(result_to_payload(mid_results[0]))
 
+    # -- canonical_scheme memo: repeated key derivation on this corpus -------
+    # Re-deriving codegen keys from a retained CheckResult (what the REPL
+    # and repeated `run` calls do) re-renders every dependency scheme;
+    # the identity memo turns all repeat renders into hits.
+    compiled_session = Session(DriverOptions(compiled=True))
+    full_check = compiled_session.check(source, FILENAME)
+    assert full_check.ok
+    renders = REGISTRY.counter("solver.scheme_renders")
+    render_hits = REGISTRY.counter("solver.scheme_render_hits")
+    memo_cache = str(tmp_path / "e15-memo-cache")
+    base_renders, base_hits = renders.value, render_hits.value
+    compiled_session.run_from_check(full_check, entry="b1",
+                                    cache=memo_cache)
+    first_pass = renders.value - base_renders
+    assert first_pass > 0 and render_hits.value == base_hits
+    repeats = 3
+    for _ in range(repeats):
+        compiled_session.run_from_check(full_check, entry="b1",
+                                        cache=memo_cache)
+    memo_hits = render_hits.value - base_hits
+    total_renders = renders.value - base_renders
+    assert memo_hits == repeats * first_pass, \
+        "every repeat render must hit the memo"
+    record_counter("e15.scheme_memo.renders", total_renders)
+    record_counter("e15.scheme_memo.hits", memo_hits)
+    record_counter("e15.scheme_memo.hit_rate",
+                   round(memo_hits / total_renders, 4))
+
     # -- report ---------------------------------------------------------------
     import benchreport
     full_s = benchreport._TIMINGS["e15.full_check"]["seconds"]
@@ -199,11 +248,16 @@ def test_report_incremental_recheck(tmp_path):
     record_counter("e15.speedup.warm_noop_vs_full",
                    round(full_s / warm_s, 2) if warm_s > 0 else 0)
 
+    hot_s = benchreport._TIMINGS["e15.warm_noop_hot"]["seconds"]
     emit("E15: binding-level incremental re-checking "
          f"({NUM_BINDINGS} bindings)", [
              ("full module check", "baseline", f"{full_s * 1000:.1f}ms"),
              ("warm no-op", f"{full_s / warm_s:.1f}x vs full",
               f"{warm_s * 1000:.1f}ms"),
+             ("warm no-op, hot tier", f"{full_s / hot_s:.1f}x vs full",
+              f"{hot_s * 1000:.1f}ms"),
+             ("scheme render memo", f"{memo_hits}/{total_renders} hits",
+              f"{memo_hits / total_renders:.0%} hit rate"),
              ("single-binding edit", f"{speedup:.1f}x vs full",
               f"{edit_s * 1000:.1f}ms"),
              ("scheme-changing edit", f"{final.cache_misses} unit(s) "

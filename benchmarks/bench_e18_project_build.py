@@ -29,8 +29,15 @@ cold ones, and the body-edit rebuild must re-check exactly one unit.
 import pytest
 
 from benchreport import emit, record_counter, report_only, time_op
-from repro.driver import CheckStats, ResultCache, Session, check_project
+from repro.driver import (
+    CheckStats,
+    DriverOptions,
+    ResultCache,
+    Session,
+    check_project,
+)
 from repro.driver.batch import payload_bytes, result_to_payload
+from repro.telemetry import REGISTRY
 
 NUM_MODULES = 16
 BINDINGS_PER_MODULE = 4
@@ -108,6 +115,25 @@ def test_report_project_build(tmp_path):
                    repeats=3, meta={"modules": NUM_MODULES})
     assert noop_stats.checked == 0
     assert project_bytes(noop.results) == project_bytes(cold.results)
+    # Store-level shape of the warm no-op (schema v4): outline + file
+    # entries only, nothing written back.
+    probe = throwaway_cache()
+    check_project(items, cache=probe, session=Session())
+    assert probe.shards_written == 0
+    record_counter("e18.store.warm_shards_read", probe.shards_read)
+    record_counter("e18.store.warm_shards_written", probe.shards_written)
+
+    # -- warm no-op through the session's hot tier ----------------------------
+    tier = session.store_hot_tier()
+    check_project(items, cache=cache_path, session=session)  # charge it
+    hits_before = tier.hits
+    hot_noop = time_op(
+        "e18.warm_noop_hot",
+        lambda: check_project(items, cache=cache_path, session=session),
+        repeats=3, meta={"modules": NUM_MODULES})
+    assert tier.hits > hits_before, "hot tier never engaged"
+    assert project_bytes(hot_noop.results) == project_bytes(cold.results)
+    record_counter("e18.store.hot_hits", tier.hits)
 
     # -- the headline: body-only edit in the base module ----------------------
     base_name, base_source = items[0]
@@ -150,6 +176,28 @@ def test_report_project_build(tmp_path):
     assert not scheme_check.ok
     record_counter("e18.scheme_edit.checked", scheme_stats.checked)
 
+    # -- canonical_scheme memo: repeated key derivation on this corpus -------
+    compiled_session = Session(DriverOptions(compiled=True))
+    base_check = compiled_session.check(base_source, base_name)
+    assert base_check.ok
+    renders = REGISTRY.counter("solver.scheme_renders")
+    render_hits = REGISTRY.counter("solver.scheme_render_hits")
+    memo_cache = str(tmp_path / "e18-memo-cache")
+    base_renders, base_hits = renders.value, render_hits.value
+    compiled_session.run_from_check(base_check, entry="local1_1",
+                                    cache=memo_cache)
+    first_pass = renders.value - base_renders
+    assert first_pass > 0 and render_hits.value == base_hits
+    compiled_session.run_from_check(base_check, entry="local1_1",
+                                    cache=memo_cache)
+    memo_hits = render_hits.value - base_hits
+    assert memo_hits == first_pass, \
+        "every repeat render must hit the memo"
+    record_counter("e18.scheme_memo.renders", renders.value - base_renders)
+    record_counter("e18.scheme_memo.hits", memo_hits)
+    record_counter("e18.scheme_memo.hit_rate",
+                   round(memo_hits / (renders.value - base_renders), 4))
+
     # -- report ---------------------------------------------------------------
     import benchreport
     cold_s = benchreport._TIMINGS["e18.cold_build"]["seconds"]
@@ -165,6 +213,9 @@ def test_report_project_build(tmp_path):
              ("cold full build", "baseline", f"{cold_s * 1000:.1f}ms"),
              ("warm no-op", f"{cold_s / noop_s:.1f}x vs cold",
               f"{noop_s * 1000:.1f}ms"),
+             ("warm no-op, hot tier",
+              f"{cold_s / benchreport._TIMINGS['e18.warm_noop_hot']['seconds']:.1f}x vs cold",
+              f"{benchreport._TIMINGS['e18.warm_noop_hot']['seconds'] * 1000:.1f}ms"),
              ("body-only edit", f"{speedup:.1f}x vs cold",
               f"{edit_s * 1000:.1f}ms"),
              ("scheme-changing edit", f"{scheme_stats.checked} unit(s) "

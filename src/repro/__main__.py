@@ -44,6 +44,13 @@ Subcommands:
 codegen.lower, eval.run, including worker-process spans on their own pid
 rows — as Chrome trace-event JSON loadable in Perfetto
 (see docs/OBSERVABILITY.md).
+* ``cache ACTION PATH`` — maintain a sharded result-cache directory
+  (schema v4, ``docs/INCREMENTAL.md``): ``stats`` summarises per-table
+  shard/entry/byte counts, ``verify`` structurally checks every shard
+  (schema, key→shard assignment, payload shapes; exit 1 on problems),
+  ``gc --max-age AGE`` drops entries not stored or consumed within AGE
+  (``30d``, ``12h``, ``90m`` or plain seconds), and ``compact``
+  rewrites shards canonically, dropping empties.
 * ``repl`` — a small read-eval-print loop (declarations accumulate;
   ``:t expr`` shows a type; ``:q`` quits).
 * ``fuzz`` — generate a corpus of random well-typed programs
@@ -350,6 +357,112 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _parse_age(text: str) -> float:
+    """An age in seconds from ``"30d"``/``"12h"``/``"90m"``/``"3600"``."""
+    text = text.strip().lower()
+    scale = 1.0
+    if text.endswith("d"):
+        scale, text = 24 * 3600.0, text[:-1]
+    elif text.endswith("h"):
+        scale, text = 3600.0, text[:-1]
+    elif text.endswith("m"):
+        scale, text = 60.0, text[:-1]
+    elif text.endswith("s"):
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise _CliError(
+            f"invalid --max-age {text!r} (expected e.g. 30d, 12h, 90m, "
+            "or seconds)") from None
+    if value < 0:
+        raise _CliError("--max-age must be non-negative")
+    return value * scale
+
+
+def _cache_payload_validator():
+    """One ``validator(key, payload)`` covering every key namespace."""
+    from .driver.batch import (
+        _codegen_payload_valid,
+        _exports_payload_valid,
+        _file_payload_valid,
+        _outline_payload_valid,
+        _unit_payload_valid,
+    )
+    from .driver.store import table_of
+
+    validators = {
+        # The unit table holds both per-unit and whole-file entries.
+        "unit": lambda payload: (_unit_payload_valid(payload)
+                                 or _file_payload_valid(payload)),
+        "pfile": _file_payload_valid,
+        "outline": _outline_payload_valid,
+        "exports": _exports_payload_valid,
+        "codegen": _codegen_payload_valid,
+    }
+
+    def validate(key: str, payload) -> bool:
+        if not isinstance(payload, dict):
+            return False
+        checker = validators.get(table_of(key))
+        return True if checker is None else checker(payload)
+
+    return validate
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .driver.store import ShardStore
+
+    if os.path.isfile(args.path):
+        raise _CliError(
+            f"{args.path} is a legacy monolithic cache document; it "
+            "migrates (cold) the next time a check opens it — nothing "
+            "to maintain yet")
+    if not os.path.isdir(args.path):
+        raise _CliError(f"no cache directory at {args.path}")
+    store = ShardStore(args.path)
+    if args.action == "stats":
+        document = store.stats()
+        if args.json:
+            print(json.dumps(document, indent=2, sort_keys=True))
+        else:
+            print(f"cache {document['root']} (schema {document['schema']}): "
+                  f"{document['entries']} entries in {document['shards']} "
+                  f"shard file(s), {document['bytes']} bytes")
+            for table, row in sorted(document["tables"].items()):
+                print(f"  {table}: {row['entries']} entries, "
+                      f"{row['shards']} shard(s), {row['bytes']} bytes")
+        return 0
+    if args.action == "verify":
+        problems = store.verify(_cache_payload_validator())
+        if args.json:
+            print(json.dumps({"ok": not problems, "problems": problems},
+                             indent=2))
+        else:
+            for problem in problems:
+                print(problem)
+            print(f"verify: {'ok' if not problems else 'FAILED'} "
+                  f"({len(problems)} problem(s))")
+        return 0 if not problems else 1
+    if args.action == "gc":
+        if args.max_age is None:
+            raise _CliError("gc requires --max-age (e.g. --max-age 30d)")
+        kept, dropped = store.gc(_parse_age(args.max_age))
+        if args.json:
+            print(json.dumps({"kept": kept, "dropped": dropped}))
+        else:
+            print(f"gc: kept {kept} entr(ies), dropped {dropped}")
+        return 0
+    assert args.action == "compact"
+    document = store.compact()
+    if args.json:
+        print(json.dumps(document))
+    else:
+        print(f"compact: {document['bytes_before']} -> "
+              f"{document['bytes_after']} bytes")
+    return 0
+
+
 def _cmd_repl(args: argparse.Namespace) -> int:
     session = Session(_options(args))
     interactive = sys.stdin.isatty()
@@ -496,6 +609,24 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--explicit-reps", action="store_true")
     validate.add_argument("--no-levity-check", action="store_true")
     validate.set_defaults(func=_cmd_validate)
+
+    cache = sub.add_parser(
+        "cache", help="maintain a sharded result-cache directory "
+                      "(stats / verify / gc / compact)")
+    cache.add_argument("action", choices=["stats", "verify", "gc",
+                                          "compact"],
+                       help="stats: per-table shard/entry/byte counts; "
+                            "verify: structural + payload-shape check "
+                            "(exit 1 on problems); gc: drop entries older "
+                            "than --max-age; compact: rewrite shards "
+                            "canonically, dropping empties")
+    cache.add_argument("path", help="the cache directory (a --cache PATH)")
+    cache.add_argument("--max-age", default=None, metavar="AGE",
+                       help="for gc: maximum entry age — 30d, 12h, 90m, "
+                            "or plain seconds")
+    cache.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON")
+    cache.set_defaults(func=_cmd_cache)
 
     repl = sub.add_parser("repl", help="interactive read-eval-print loop")
     repl.add_argument("--explicit-reps", action="store_true")

@@ -20,6 +20,11 @@ reproduction as one pipeline::
   worker processes with a binding-level incremental result cache
   (``Session.check_many(jobs=..., cache=..., stats=...)`` and
   ``python -m repro check --jobs N --cache PATH --stats``);
+* :mod:`repro.driver.store` — the sharded, content-addressed on-disk
+  store behind the result cache (schema v4): 256 lazily-loaded shards
+  per key namespace, per-shard dirty tracking and atomic merge-then-
+  replace saves, a session-owned in-memory hot tier, and the
+  ``python -m repro cache stats|verify|gc|compact`` maintenance surface;
 * :mod:`repro.driver.project` — the module-level layer on top: ``module``
   / ``import`` resolution, the project DAG with cycle rejection, and
   cross-module incremental builds (``Session.check_project`` and
@@ -34,6 +39,7 @@ a thin wrapper over this package.
 
 from .batch import CheckStats, ResultCache, check_many_sharded
 from .depgraph import CheckUnit, ModulePlan, build_plan
+from .store import CACHE_SCHEMA, HotTier, ShardStore
 from .lower import LoweringError, lower_binding, lower_entry, lower_type
 from .project import (
     ModuleNode,
@@ -58,12 +64,14 @@ from .session import (
 
 __all__ = [
     "BindingSummary",
+    "CACHE_SCHEMA",
     "CheckResult",
     "CheckStats",
     "CheckUnit",
     "CompileResult",
     "Diagnostic",
     "DriverOptions",
+    "HotTier",
     "LoweringError",
     "ModuleNode",
     "ModulePlan",
@@ -73,6 +81,7 @@ __all__ = [
     "ResultCache",
     "RunResult",
     "Session",
+    "ShardStore",
     "build_plan",
     "build_project_plan",
     "check_many_sharded",

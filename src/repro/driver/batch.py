@@ -26,10 +26,15 @@ Three layers:
   (an earlier binding grew) is still a hit and is re-stamped with correct
   absolute lines on the way out.
 
-* **The cache** — :class:`ResultCache`, one JSON document mapping unit
-  keys to unit payloads.  Writes are atomic (temp file + ``os.replace``)
-  and **merge-on-save**: concurrent runs sharing a cache path cannot tear
-  the document or clobber each other's fresh entries.
+* **The cache** — :class:`ResultCache`, mapping unit keys to unit
+  payloads.  On disk it is a **sharded store**
+  (:mod:`repro.driver.store`, schema v4): 256 key-prefix shards per key
+  namespace, loaded lazily and persisted per-shard with the atomic
+  merge-then-replace discipline — a warm no-op run reads only the shards
+  it probes, a single-unit edit rewrites only the shards it dirtied, and
+  concurrent runs sharing a cache directory cannot tear a shard or
+  clobber each other's fresh entries.  An optional session-owned
+  :class:`~repro.driver.store.HotTier` serves hot shards from memory.
 
 * **The scheduler** — :func:`check_many_sharded` walks every file's units
   in dependency order.  With ``jobs > 1`` the pending units are dispatched
@@ -51,7 +56,6 @@ import dataclasses
 import hashlib
 import json
 import os
-import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -64,6 +68,7 @@ from ..telemetry import (
     TRACER as _TRACER,
 )
 from .depgraph import CheckUnit, ModulePlan, build_plan
+from .store import CACHE_SCHEMA, HotTier, ShardStore
 from .session import (
     BindingSummary,
     CheckResult,
@@ -96,15 +101,9 @@ __all__ = [
     "unit_key",
 ]
 
-#: Bump when the payload layout or the pipeline's observable output changes
-#: incompatibly; old cache entries then miss instead of deserialising junk.
-#: v2: binding-level units (one entry per unit, spans segment-relative).
-#: v3: project builds — unit keys fold in the canonical schemes of
-#: *imported* names the unit references, plus the ``outline:`` (module
-#: name/imports/foreign refs per source) and ``exports:`` (name → scheme
-#: rendering per project file key) side-tables.  v2 documents degrade to
-#: cold caches, never to errors.
-CACHE_SCHEMA = 3
+# CACHE_SCHEMA now lives in repro.driver.store (the on-disk layer owns
+# the on-disk version number) and is re-exported here for key derivation
+# and compatibility.
 
 
 # ---------------------------------------------------------------------------
@@ -193,8 +192,25 @@ def canonical_scheme(scheme: Scheme) -> str:
     back (via :func:`repro.frontend.parser.parse_scheme`) to rebuild a
     dependent's typing environment.  Explicit runtime reps are mandatory —
     the display-defaulted rendering would erase levity polymorphism.
+
+    The rendering is memoised on the scheme object itself (schemes are
+    frozen, and their type/rep nodes are hash-consed, so the text can
+    never go stale): key derivation renders each scheme once per
+    *definition*, not once per *dependent*.  The
+    ``solver.scheme_renders`` / ``solver.scheme_render_hits`` counter
+    pair makes the hit rate observable.
     """
-    return scheme.pretty(explicit_runtime_reps=True)
+    _REGISTRY.inc("solver.scheme_renders")
+    text = getattr(scheme, "_canonical_src", None)
+    if text is None:
+        text = scheme.pretty(explicit_runtime_reps=True)
+        # Scheme is a frozen dataclass; object.__setattr__ is the same
+        # door its own __init__ uses.  The memo is identity-keyed and
+        # invisible to dataclass equality/hashing.
+        object.__setattr__(scheme, "_canonical_src", text)
+    else:
+        _REGISTRY.inc("solver.scheme_render_hits")
+    return text
 
 
 def _rel_span(unit: CheckUnit, span: Optional[Span]) -> Optional[List[int]]:
@@ -448,26 +464,34 @@ def _outline_payload_valid(payload: dict) -> bool:
 
 
 class ResultCache:
-    """A file-backed map from unit keys to unit payloads.
+    """A store-backed map from unit keys to unit payloads.
 
-    The on-disk format is one JSON document::
+    With a ``path`` the entries live in a sharded directory managed by
+    :class:`repro.driver.store.ShardStore` (see that module for the
+    layout, atomicity and GC story); shards load lazily, so construction
+    is O(1) regardless of cache size.  Without a path the cache is a
+    plain in-process dict (the REPL's ``:load`` state, tests).
 
-        {"schema": 3, "entries": {"<sha256>": {"members": [...]}, ...}}
+    ``hits``/``misses``/``stores`` counters make cache behaviour
+    observable to benchmarks, tests and ``--stats``; storing a payload
+    identical to the existing entry is a free no-op at every level
+    (counters, dirty shards, disk).
 
-    Entries from an older :data:`CACHE_SCHEMA` are discarded wholesale on
-    load.  ``hits``/``misses``/``stores`` counters make cache behaviour
-    observable to benchmarks, tests and ``--stats``.
-
-    :meth:`save` is **atomic and merging**: the document is written to a
-    temp file and ``os.replace``-d into place, after folding in any
-    entries another process persisted since we loaded — so concurrent
-    ``--jobs`` runs sharing one ``--cache`` path can neither interleave a
-    torn document nor silently drop each other's work.
+    :meth:`save` persists **exactly the dirty shards**, each with the
+    atomic merge-then-replace discipline — concurrent ``--jobs`` runs
+    sharing one ``--cache`` directory can neither interleave a torn
+    shard nor silently drop each other's work.  ``hot`` (a
+    :class:`~repro.driver.store.HotTier`, usually session-owned) serves
+    repeat shard reads from memory.
     """
 
-    def __init__(self, path: Optional[str] = None) -> None:
+    def __init__(self, path: Optional[str] = None,
+                 hot: Optional[HotTier] = None) -> None:
         self.path = path
-        self.entries: Dict[str, dict] = {}
+        self._store: Optional[ShardStore] = None
+        self._memory: Dict[str, dict] = {}
+        if path is not None:
+            self._store = ShardStore(path, hot=hot)
         #: Unit-level counters (the granularity ``--stats`` reports).
         self.hits = 0
         self.misses = 0
@@ -483,26 +507,44 @@ class ResultCache:
         #: Project side-table counters (outlines + per-module exports).
         self.outline_hits = 0
         self.outline_misses = 0
-        self._dirty = False
-        if path is not None and os.path.exists(path):
-            self.entries = self._load(path)
 
-    @staticmethod
-    def _load(path: str) -> Dict[str, dict]:
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                document = json.load(handle)
-        except (OSError, ValueError):
-            return {}  # an unreadable/corrupt cache is just a cold cache
-        if document.get("schema") != CACHE_SCHEMA:
-            return {}
-        entries = document.get("entries")
-        return entries if isinstance(entries, dict) else {}
+    @property
+    def entries(self) -> Dict[str, dict]:
+        """Every entry, as one dict.
+
+        In-memory caches return their live dict; store-backed caches
+        materialise the whole store (disk plus unsaved writes) — an
+        inspection affordance for tests and tooling, not a fast path.
+        """
+        if self._store is None:
+            return self._memory
+        return self._store.load_all()
+
+    @property
+    def shards_read(self) -> int:
+        return self._store.shards_read if self._store is not None else 0
+
+    @property
+    def shards_written(self) -> int:
+        return self._store.shards_written if self._store is not None else 0
+
+    def _get(self, key: str) -> Optional[dict]:
+        if self._store is not None:
+            return self._store.get(key)
+        return self._memory.get(key)
+
+    def _put(self, key: str, payload: dict) -> bool:
+        if self._store is not None:
+            return self._store.put(key, payload)
+        if self._memory.get(key) == payload:
+            return False
+        self._memory[key] = payload
+        return True
 
     def lookup(self, key: str) -> Optional[dict]:
-        payload = self.entries.get(key)
+        payload = self._get(key)
         if payload is not None and not _unit_payload_valid(payload):
-            # A malformed entry (hand-edited file, truncated write) is a
+            # A malformed entry (hand-edited shard, truncated write) is a
             # miss, not an error; the re-check overwrites it.  Validating
             # here keeps the hit/miss counters truthful.
             payload = None
@@ -513,25 +555,21 @@ class ResultCache:
         return payload
 
     def store(self, key: str, payload: dict) -> None:
-        self.entries[key] = payload
-        self.stores += 1
-        self._dirty = True
+        if self._put(key, payload):
+            self.stores += 1
 
     def lookup_file(self, key: str) -> Optional[dict]:
         """Whole-file fast path; a miss here is silent (the unit walk that
         follows keeps the truthful per-unit counters)."""
-        payload = self.entries.get(key)
+        payload = self._get(key)
         if payload is None or not _file_payload_valid(payload):
             return None
         self.file_hits += 1
         return payload
 
     def store_file(self, key: str, payload: dict) -> None:
-        if self.entries.get(key) == payload:
-            return  # identical sources re-store nothing
-        self.entries[key] = payload
-        self.file_stores += 1
-        self._dirty = True
+        if self._put(key, payload):
+            self.file_stores += 1
 
     def lookup_exports(self, file_key: str) -> Optional[dict]:
         """The ``exports:`` entry of a project file key, or None.
@@ -539,22 +577,17 @@ class ResultCache:
         The returned payload's ``"exports"`` field is either a
         ``{name: canonical scheme rendering | None}`` map or None (the
         module failed entirely — e.g. did not parse)."""
-        payload = self.entries.get("exports:" + file_key)
+        payload = self._get("exports:" + file_key)
         if payload is None or not _exports_payload_valid(payload):
             return None
         return payload
 
     def store_exports(self, file_key: str,
                       exports: Optional[Dict[str, Optional[str]]]) -> None:
-        payload = {"exports": exports}
-        key = "exports:" + file_key
-        if self.entries.get(key) == payload:
-            return
-        self.entries[key] = payload
-        self._dirty = True
+        self._put("exports:" + file_key, {"exports": exports})
 
     def lookup_outline(self, key: str) -> Optional[dict]:
-        payload = self.entries.get(key)
+        payload = self._get(key)
         if payload is None or not _outline_payload_valid(payload):
             self.outline_misses += 1
             return None
@@ -562,13 +595,10 @@ class ResultCache:
         return payload
 
     def store_outline(self, key: str, payload: dict) -> None:
-        if self.entries.get(key) == payload:
-            return
-        self.entries[key] = payload
-        self._dirty = True
+        self._put(key, payload)
 
     def lookup_codegen(self, key: str) -> Optional[dict]:
-        payload = self.entries.get(key)
+        payload = self._get(key)
         if payload is not None and not _codegen_payload_valid(payload):
             payload = None
         if payload is None:
@@ -578,38 +608,17 @@ class ResultCache:
         return payload
 
     def store_codegen(self, key: str, payload: dict) -> None:
-        if self.entries.get(key) == payload:
-            return
-        self.entries[key] = payload
-        self.codegen_stores += 1
-        self._dirty = True
+        if self._put(key, payload):
+            self.codegen_stores += 1
 
     def save(self) -> None:
-        """Write the cache atomically (temp file + rename), merging any
-        entries a concurrent run persisted since this cache was loaded
-        (our own entries win on key collision — same key means same
-        deterministic payload anyway)."""
-        if self.path is None or not self._dirty:
+        """Persist dirty shards (see :meth:`ShardStore.save`); a no-op
+        for in-memory caches and when nothing changed.  Callers that
+        nulled ``path`` after construction (benchmarks do, to get a
+        read-only view) persist nothing."""
+        if self.path is None or self._store is None:
             return
-        merged = self._load(self.path)
-        merged.update(self.entries)
-        self.entries = merged
-        document = {"schema": CACHE_SCHEMA, "entries": merged}
-        directory = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(directory, exist_ok=True)
-        descriptor, temp_path = tempfile.mkstemp(
-            dir=directory, prefix=".repro-cache-")
-        try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                json.dump(document, handle, sort_keys=True)
-            os.replace(temp_path, self.path)
-        except BaseException:
-            try:
-                os.unlink(temp_path)
-            except OSError:
-                pass
-            raise
-        self._dirty = False
+        self._store.save()
 
 
 # ---------------------------------------------------------------------------
@@ -1177,10 +1186,13 @@ def check_many_sharded(sources: Iterable[Tuple[str, str]],
     """
     options = options or DriverOptions()
     jobs = max(1, int(jobs))
-    if isinstance(cache, str):
-        cache = ResultCache(cache)
     if session is None:
         session = Session(options)
+    if isinstance(cache, str):
+        # A path-spelled cache is opened against the session's hot tier,
+        # so repeated calls in one warm process serve hot shards from
+        # memory instead of disk.
+        cache = ResultCache(cache, hot=session.store_hot_tier())
     if stats is None:
         # Counting always (into an internal CheckStats) keeps the
         # telemetry registry's cache.*/batch.* counters accurate whether
@@ -1249,9 +1261,7 @@ def check_many_sharded(sources: Iterable[Tuple[str, str]],
 
     def record(key: str, payload: dict) -> None:
         if cache is not None:
-            if key not in cache.entries \
-                    or cache.entries[key] != payload:
-                cache.store(key, payload)
+            cache.store(key, payload)  # identical payloads store free
         memo[key] = payload
 
     if jobs == 1:

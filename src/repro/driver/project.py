@@ -454,7 +454,9 @@ def check_project(sources: Iterable[Tuple[str, str]],
         options = session.options
     jobs = max(1, int(jobs or 1))
     if isinstance(cache, str):
-        cache = ResultCache(cache)
+        # Open against the session's hot tier: repeated project builds
+        # in one warm process serve hot shards from memory.
+        cache = ResultCache(cache, hot=session.store_hot_tier())
     if stats is None:
         stats = CheckStats()
     fingerprint = options_fingerprint(options)

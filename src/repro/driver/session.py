@@ -754,6 +754,19 @@ class Session:
             "parallel_batches": 0,
             "serial_batches": 0,
         }
+        #: The in-memory hot tier over on-disk cache shards, created
+        #: lazily and shared by every path-spelled cache this session
+        #: opens (check_many, check_project, compiled runs) — repeated
+        #: calls in one warm process serve hot shards without disk reads.
+        self._store_hot = None
+
+    def store_hot_tier(self):
+        """The session's :class:`repro.driver.store.HotTier` (lazy)."""
+        if self._store_hot is None:
+            from .store import HotTier
+
+            self._store_hot = HotTier()
+        return self._store_hot
 
     # -- the persistent worker pool -------------------------------------------
 
@@ -941,8 +954,8 @@ class Session:
         if compiled and cache is not None:
             from .batch import ResultCache, load_codegen
 
-            cache_obj = ResultCache(cache) if isinstance(cache, str) \
-                else cache
+            cache_obj = ResultCache(cache, hot=self.store_hot_tier()) \
+                if isinstance(cache, str) else cache
             sources, codegen_units = load_codegen(cache_obj, check,
                                                   self.options)
         traced = _TRACER.enabled

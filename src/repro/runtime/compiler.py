@@ -21,7 +21,8 @@ baked in at compile time:
 
 The compiler's unit of output is *Python source text* (one ``_bind``
 definition per binding).  Source text is what the per-unit codegen cache in
-``driver/batch.py`` stores: generating it is the expensive phase, while
+``driver/batch.py`` stores (persisted in the ``codegen/`` shard table of
+the v4 store, ``driver/store.py``): generating it is the expensive phase, while
 ``exec`` + linking against a live evaluator is cheap and happens on every
 load.  The generated code runs against the same heap and the same value
 types as the tree-walker, so compiled and interpreted closures mix freely
@@ -827,6 +828,11 @@ class CompiledProgram:
         _REGISTRY.inc("codegen.compiled", self.codegen_count)
         _REGISTRY.inc("codegen.cache_hits", self.cache_hits)
         _REGISTRY.inc("codegen.fallbacks", len(self.fallback_names))
+        # Source text is what the codegen side-table shards persist, so
+        # its volume is the side-table's growth rate.
+        _REGISTRY.inc("codegen.source_bytes",
+                      sum(len(source) for source in self.sources.values()
+                          if source is not None))
 
     def make_lambda(self, body: Callable) -> CompiledFunction:
         return CompiledFunction("", 1, (False,), body, self.evaluator)

@@ -5,9 +5,10 @@ union-find ops lived on each ``UnifierState``, per-unit hit/miss on
 ``CheckStats``, pool reuse on ``Session.pool_stats``, codegen counts on
 ``CompiledProgram``, and benchmarks reached into module internals to read
 them.  The :class:`MetricsRegistry` absorbs all of them under namespaced
-metric names (``solver.*``, ``cache.*``, ``batch.*``, ``pool.*``,
-``codegen.*``, ``runtime.*``, ``eval.*`` — see docs/OBSERVABILITY.md) and
-emits one machine-readable document via :meth:`MetricsRegistry.snapshot`.
+metric names (``solver.*``, ``cache.*``, ``cache.store.*`` for the
+sharded on-disk store, ``batch.*``, ``pool.*``, ``codegen.*``,
+``runtime.*``, ``eval.*`` — see docs/OBSERVABILITY.md) and emits one
+machine-readable document via :meth:`MetricsRegistry.snapshot`.
 
 Cost model:
 
@@ -143,6 +144,14 @@ class MetricsRegistry:
             self.counter(prefix + name).inc(value)
 
     # -- reporting -----------------------------------------------------------
+
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        """Current counter values under one namespace (``"cache.store."``,
+        ``"solver."``, …) — the benchmark-recording affordance, so benches
+        capture a layer's counters without snapshotting everything."""
+        return {name: metric.value
+                for name, metric in sorted(self._counters.items())
+                if name.startswith(prefix)}
 
     def snapshot(self) -> Dict[str, Any]:
         """One nested, JSON-ready document of every live metric."""

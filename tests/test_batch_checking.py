@@ -40,6 +40,34 @@ main = {i} + 1
 UNITS_PER_PROGRAM = 2
 
 
+def _rewrite_entries(path, mutate):
+    """Edit a sharded cache in place: load every entry, apply ``mutate``
+    to the entries dict, write the changed ones back (the moral
+    equivalent of hand-editing the old monolithic JSON document)."""
+    from repro.driver.store import ShardStore
+
+    store = ShardStore(path)
+    entries = store.load_all()
+    mutate(entries)
+    for key, payload in entries.items():
+        store.put(key, payload)
+    store.save()
+
+
+def _shard_files(root):
+    """{relative path: file text} for every data file under a cache root
+    (the empty ``.lock`` flock siblings are not data and are skipped)."""
+    snapshot = {}
+    for dirpath, _dirs, names in os.walk(root):
+        for name in names:
+            if name.endswith(".lock"):
+                continue
+            full = os.path.join(dirpath, name)
+            with open(full, "r", encoding="utf-8") as handle:
+                snapshot[os.path.relpath(full, root)] = handle.read()
+    return snapshot
+
+
 class TestSharding:
     def test_output_order_matches_input_order(self):
         corpus = make_corpus(11)  # odd count: shards are uneven
@@ -162,24 +190,22 @@ class TestIncrementalCache:
         assert len(reloaded.entries) == 2 * UNITS_PER_PROGRAM + 2
 
     def test_malformed_cache_entry_is_a_miss(self, tmp_path):
-        import json
-
         corpus = make_corpus(2)
         path = str(tmp_path / "cache.json")
         Session().check_many(corpus, cache=path)
-        with open(path) as handle:
-            document = json.load(handle)
         # Truncate every whole-file entry plus one unit entry: the files
         # drop to the unit layer, where the bad unit is a miss.
-        unit_keys = sorted(k for k, v in document["entries"].items()
-                           if "members" in v)
-        corrupted = unit_keys[0]
-        for key, value in document["entries"].items():
-            if "members" not in value:
-                document["entries"][key] = {}
-        document["entries"][corrupted] = {}
-        with open(path, "w") as handle:
-            json.dump(document, handle)
+        corrupted = None
+
+        def truncate(entries):
+            nonlocal corrupted
+            corrupted = sorted(k for k, v in entries.items()
+                               if "members" in v)[0]
+            for key, value in entries.items():
+                if "members" not in value or key == corrupted:
+                    entries[key] = {}
+
+        _rewrite_entries(path, truncate)
         cache = ResultCache(path)
         results = Session().check_many(corpus, cache=cache)
         assert all(r.ok for r in results)
@@ -402,63 +428,66 @@ class TestAtomicCache:
         merged = ResultCache(path)
         assert len(merged.entries) == (2 * UNITS_PER_PROGRAM + 2) + (1 + 1)
 
-    def test_failed_save_leaves_the_old_document_intact(self, tmp_path,
-                                                        monkeypatch):
+    def test_failed_save_leaves_the_old_shards_intact(self, tmp_path,
+                                                      monkeypatch):
         import json as json_module
 
-        import repro.driver.batch as batch
+        import repro.driver.store as store_module
 
         path = str(tmp_path / "cache.json")
         Session().check_many(make_corpus(1), cache=path)
-        before = open(path).read()
+        before = _shard_files(path)
         cache = ResultCache(path)
         cache.store("deadbeef", {"members": []})
 
         def explode(*args, **kwargs):
             raise RuntimeError("disk full")
 
-        monkeypatch.setattr(batch.json, "dump", explode)
+        monkeypatch.setattr(store_module.json, "dump", explode)
         try:
             cache.save()
         except RuntimeError:
             pass
-        monkeypatch.setattr(batch.json, "dump", json_module.dump)
-        # The original document is untouched and still valid JSON...
-        assert open(path).read() == before
+        monkeypatch.setattr(store_module.json, "dump", json_module.dump)
+        # Every shard file is untouched and still valid JSON...
+        assert _shard_files(path) == before
         assert ResultCache(path).entries
         # ...and no temp files leak.
-        leftovers = [n for n in os.listdir(tmp_path)
-                     if n.startswith(".repro-cache-")]
+        leftovers = [name for name in _shard_files(path)
+                     if ".repro-shard-" in name]
         assert leftovers == []
 
     def test_save_is_a_noop_when_nothing_changed(self, tmp_path):
         path = str(tmp_path / "cache.json")
         Session().check_many(make_corpus(1), cache=path)
-        stamp = os.stat(path).st_mtime_ns
+        before = _shard_files(path)
         warm = ResultCache(path)
         Session().check_many(make_corpus(1), cache=warm)  # all hits
-        assert os.stat(path).st_mtime_ns == stamp
+        # Per-shard dirty tracking: a no-op run neither rewrites any
+        # shard file nor even loads the ones it never probed.
+        assert warm.shards_written == 0
+        assert warm.shards_read < len(before)
+        assert _shard_files(path) == before
 
 
 class TestReviewRegressions:
     def test_unit_entry_missing_fields_is_a_miss_not_a_crash(self, tmp_path):
         """A truncated unit entry (span/scheme_src stripped) must degrade
         to a cache miss, never a KeyError during assembly."""
-        import json
-
         path = str(tmp_path / "cache.json")
         Session().check_many([("dep.lev", DEP_MODULE)], cache=path)
-        with open(path) as handle:
-            document = json.load(handle)
-        for key, value in document["entries"].items():
-            if "members" in value:
-                for member in value["members"]:
-                    member.pop("scheme_src", None)
-                    member.pop("span", None)
-            else:
-                document["entries"][key] = {}  # drop the file short-circuit
-        with open(path, "w") as handle:
-            json.dump(document, handle)
+
+        def truncate(entries):
+            for key, value in entries.items():
+                if "members" in value:
+                    value["members"] = [
+                        {field: member[field] for field in member
+                         if field not in ("scheme_src", "span")}
+                        for member in value["members"]]
+                else:
+                    entries[key] = {}  # drop the file short-circuit
+
+        _rewrite_entries(path, truncate)
         cache = ResultCache(path)
         results = Session().check_many([("dep.lev", DEP_MODULE)],
                                        cache=cache)

@@ -22,6 +22,7 @@ Covers the guarantees ``python -m repro build`` makes:
 """
 
 import json
+import os
 
 import pytest
 
@@ -281,7 +282,11 @@ class TestCrossModuleIncremental:
         assert [r.filename for r in check.results] == \
             [filename for filename, _ in moved]
 
-    def test_v2_cache_document_degrades_to_cold(self, tmp_path):
+    def test_v3_monolithic_document_degrades_to_cold(self, tmp_path):
+        # The one-time v3→v4 migration: a legacy monolithic cache *file*
+        # at the cache path (v3 entries can never hit under v4 — the
+        # schema is hashed into every key) is replaced by a cold shard
+        # directory, never an error.
         path = self.fresh_cache(tmp_path)
         with open(path, "w", encoding="utf-8") as handle:
             json.dump({"schema": CACHE_SCHEMA - 1,
@@ -290,9 +295,10 @@ class TestCrossModuleIncremental:
         check = self.build(PROJECT, path, stats)
         assert check.ok
         assert stats.checked > 0            # cold, not an error
+        assert os.path.isdir(path)          # migrated to the shard layout
         warm_stats = CheckStats()
         self.build(PROJECT, path, warm_stats)
-        assert warm_stats.checked == 0      # and rewritten as v3
+        assert warm_stats.checked == 0      # and rewritten as v4
 
     def test_parallel_build_matches_serial(self, tmp_path):
         serial = check_project(PROJECT, session=Session())
